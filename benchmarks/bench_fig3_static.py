@@ -1,0 +1,29 @@
+"""Figure 3: IPC of fixed 2/4/8/16-cluster machines (centralized cache, ring).
+
+Expected shape (paper): the distant-ILP codes — djpeg, swim, mgrid, galgel —
+keep improving out to 16 clusters; the branchy integer codes peak at 4-8
+clusters and then lose IPC to inter-cluster communication.
+"""
+
+from repro.experiments.figures import figure3, print_figure3
+from repro.workloads.profiles import DISTANT_ILP_BENCHMARKS
+
+from conftest import bench_trace_length
+
+
+def test_fig3_static_clusters(benchmark, save_result):
+    results = benchmark.pedantic(
+        figure3,
+        kwargs={"trace_length": bench_trace_length()},
+        rounds=1,
+        iterations=1,
+    )
+    text = print_figure3(results)
+    save_result("fig3_static_clusters", text)
+
+    # the headline shape: distant-ILP programs scale, the rest do not
+    for bench in DISTANT_ILP_BENCHMARKS:
+        by = results[bench]
+        assert by["static-16"].ipc > by["static-4"].ipc, bench
+    vpr = results["vpr"]
+    assert vpr["static-16"].ipc <= vpr["static-4"].ipc * 1.10

@@ -1,0 +1,42 @@
+"""Figure 5: interval-based reconfiguration (centralized cache).
+
+Schemes: static 4/16, interval-based with exploration (Figure 4 algorithm),
+and interval-based without exploration at three interval lengths (paper:
+1K/10K/100K, scaled here to 0.5K/1K/2K).
+
+Paper findings this bench should echo in shape:
+* the dynamic schemes track the best static choice per program and improve
+  on the single best static base case overall (paper: ~11%);
+* djpeg loses under exploration (fine phases, coarse intervals) but is
+  recovered by the short-interval no-exploration scheme;
+* on average, more than 8 of the 16 clusters end up disabled.
+"""
+
+from repro.experiments.figures import figure5, print_figure5
+from repro.experiments.reporting import geomean
+
+from conftest import bench_trace_length
+
+
+def test_fig5_interval_schemes(benchmark, save_result):
+    results = benchmark.pedantic(
+        figure5,
+        kwargs={"trace_length": bench_trace_length()},
+        rounds=1,
+        iterations=1,
+    )
+    text = print_figure5(results)
+    save_result("fig5_interval_schemes", text)
+
+    # dynamic schemes must beat the single best static base case on average
+    gm = {
+        scheme: geomean(by[scheme].ipc for by in results.values())
+        for scheme in next(iter(results.values()))
+    }
+    best_static = max(gm["static-4"], gm["static-16"])
+    assert gm["no-explore-500"] > best_static * 0.97
+    # steady FP codes: exploration matches the best static configuration
+    for bench in ("swim", "mgrid"):
+        by = results[bench]
+        best = max(by["static-4"].ipc, by["static-16"].ipc)
+        assert by["interval-explore"].ipc > best * 0.85, bench

@@ -1,0 +1,48 @@
+"""Section 4/5 communication-cost breakdown (idealization studies).
+
+The paper quantifies how communication-bound the 16-cluster machine is by
+zeroing one communication class at a time: free load/store communication
+buys +31% (centralized; +29% decentralized) and free register-to-register
+communication +11% (centralized; +27% decentralized).  Expected shape:
+both idealizations help, and memory communication dominates under the
+centralized cache.
+"""
+
+from repro.experiments.figures import idealized_communication, print_idealized
+from repro.experiments.reporting import geomean
+
+from conftest import bench_trace_length
+
+
+def _gm(results, scheme):
+    return geomean(by[scheme].ipc for by in results.values())
+
+
+def test_idealized_centralized(benchmark, save_result):
+    results = benchmark.pedantic(
+        idealized_communication,
+        kwargs={"trace_length": bench_trace_length(40_000),
+                "organization": "centralized"},
+        rounds=1,
+        iterations=1,
+    )
+    text = print_idealized(results, "centralized")
+    save_result("idealized_comm_centralized", text)
+    base = _gm(results, "baseline")
+    assert _gm(results, "free-memory") > base * 1.05
+    assert _gm(results, "free-register") > base * 1.01
+
+
+def test_idealized_decentralized(benchmark, save_result):
+    results = benchmark.pedantic(
+        idealized_communication,
+        kwargs={"trace_length": bench_trace_length(40_000),
+                "organization": "decentralized"},
+        rounds=1,
+        iterations=1,
+    )
+    text = print_idealized(results, "decentralized")
+    save_result("idealized_comm_decentralized", text)
+    base = _gm(results, "baseline")
+    assert _gm(results, "free-memory") > base
+    assert _gm(results, "free-register") > base

@@ -1,0 +1,41 @@
+"""Section 6 sensitivity analysis.
+
+Variants: fewer per-cluster resources (10 IQ / 20 regs — paper improvement
+shrinks to 8%), more resources (20 IQ / 40 regs — 13%), more functional
+units (similar to base), and doubled hop latency (a strongly
+communication-bound machine — 23%).  Expected shape: the dynamic scheme's
+advantage over the best static base grows with communication cost and with
+per-cluster capacity, shrinks when clusters are small.
+"""
+
+from repro.experiments.figures import print_sensitivity, sensitivity
+from repro.experiments.reporting import geomean
+
+from conftest import bench_trace_length
+
+#: one representative per behaviour class keeps this sweep tractable
+#: (5 variants x schemes x benchmarks)
+SENSITIVITY_BENCHMARKS = ("cjpeg", "gzip", "swim", "vpr", "djpeg", "mgrid")
+
+
+def test_sensitivity(benchmark, save_result):
+    results = benchmark.pedantic(
+        sensitivity,
+        kwargs={
+            "benchmarks": SENSITIVITY_BENCHMARKS,
+            "trace_length": bench_trace_length(40_000),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = print_sensitivity(results)
+    save_result("sensitivity", text)
+
+    # doubling the hop latency must hurt the 16-cluster static base more
+    # than the 4-cluster one (communication-bound regime)
+    def gm(variant, scheme):
+        return geomean(by[scheme].ipc for by in results[variant].values())
+
+    base_gap = gm("base", "static-16") / gm("base", "static-4")
+    slow_gap = gm("double-hop", "static-16") / gm("double-hop", "static-4")
+    assert slow_gap < base_gap

@@ -1,0 +1,75 @@
+"""Ablation: steering heuristics (Section 2.1 design choice).
+
+The paper's steering is the producer-preference heuristic with a
+criticality tiebreak and a load-imbalance threshold, which it notes can
+approximate Mod_N (balance-first) and First_Fit (communication-first) by
+tuning the threshold.  This ablation compares the three on a 16-cluster
+machine.  Expected shape: producer steering wins overall; First_Fit does
+relatively better on serial codes (communication dominates), Mod_N on
+wide parallel codes (balance dominates).
+"""
+
+import pytest
+
+from repro.clusters.steering import FirstFitSteering, ModNSteering
+from repro.config import default_config
+from repro.experiments.reporting import format_table, geomean
+from repro.experiments.runner import TraceCache, run_trace
+from repro.pipeline.processor import ClusteredProcessor
+from repro.workloads.profiles import get_profile
+
+from conftest import bench_trace_length
+
+BENCHES = ("cjpeg", "gzip", "swim", "vpr", "djpeg")
+
+
+def _run(trace, steering_cls):
+    config = default_config(16)
+    processor = ClusteredProcessor(trace, config)
+    if steering_cls is not None:
+        processor.steering = steering_cls(processor.clusters)
+    warm = min(6_000, len(trace) // 4)
+    while not processor.finished and processor.stats.committed < warm:
+        processor.step()
+    c0, i0 = processor.cycle, processor.stats.committed
+    processor.run()
+    return (processor.stats.committed - i0) / (processor.stats.cycles - c0)
+
+
+def sweep(trace_length):
+    cache = TraceCache(trace_length)
+    out = {}
+    for bench in BENCHES:
+        trace = cache.get(get_profile(bench))
+        out[bench] = {
+            "producer": _run(trace, None),
+            "mod-3": _run(trace, lambda cl: ModNSteering(cl, n=3)),
+            "first-fit": _run(trace, FirstFitSteering),
+        }
+    return out
+
+
+def test_steering_ablation(benchmark, save_result):
+    results = benchmark.pedantic(
+        sweep,
+        kwargs={"trace_length": bench_trace_length(40_000)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [b, results[b]["producer"], results[b]["mod-3"], results[b]["first-fit"]]
+        for b in sorted(results)
+    ]
+    gms = [
+        geomean(results[b][s] for b in results)
+        for s in ("producer", "mod-3", "first-fit")
+    ]
+    rows.append(["geomean"] + gms)
+    text = format_table(
+        ["benchmark", "producer", "mod-3", "first-fit"],
+        rows,
+        "Steering-heuristic ablation (16 clusters, centralized cache)",
+    )
+    save_result("steering_ablation", text)
+    # the paper's heuristic should not lose to either baseline overall
+    assert gms[0] >= max(gms[1], gms[2]) * 0.97

@@ -1,0 +1,25 @@
+"""Table 3: monolithic-baseline IPC and branch-mispredict interval.
+
+Paper values: IPCs 1.20 (vpr) to 4.07 (djpeg); mispredict intervals 82
+(cjpeg) to 22600 (swim).  The expected *shape*: djpeg and galgel lead the
+IPC ordering; swim and mgrid barely ever mispredict while the integer codes
+mispredict every ~60-250 instructions.
+"""
+
+from repro.experiments.tables import print_table3, table3
+
+from conftest import bench_trace_length
+
+
+def test_table3_baseline(benchmark, save_result):
+    result = benchmark.pedantic(
+        table3,
+        kwargs={"trace_length": bench_trace_length()},
+        rounds=1,
+        iterations=1,
+    )
+    text = print_table3(result)
+    save_result("table3_baseline", text)
+    assert len(result) == 9
+    for r in result.values():
+        assert r.ipc > 0

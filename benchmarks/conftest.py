@@ -1,0 +1,40 @@
+"""Shared helpers for the exhibit-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on synthetic
+laptop-scale traces (see DESIGN.md for the substitutions), prints the
+exhibit, and saves it under ``results/``.  ``REPRO_TRACE_SCALE`` lengthens
+the traces toward paper scale on beefier machines.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: default dynamic-instruction count per benchmark trace (pre-scale)
+BENCH_TRACE_LENGTH = 60_000
+
+
+def bench_trace_length(base: int = BENCH_TRACE_LENGTH) -> int:
+    try:
+        scale = max(0.1, float(os.environ.get("REPRO_TRACE_SCALE", "1")))
+    except ValueError:
+        scale = 1.0
+    return int(base * scale)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist an exhibit's text under results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

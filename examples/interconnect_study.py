@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Interconnect and cache-organization study (Sections 2.3, 5, 6).
+
+Compares, for one distant-ILP and one communication-averse benchmark:
+
+* ring vs grid interconnect at 16 clusters,
+* 1-cycle vs 2-cycle hop latency,
+* centralized vs decentralized L1 cache,
+* the cost of communication via the zero-cost idealizations.
+
+Run:  python examples/interconnect_study.py
+"""
+
+import dataclasses
+
+from repro import (
+    decentralized_config,
+    default_config,
+    generate_trace,
+    get_profile,
+    grid_config,
+)
+from repro.experiments.runner import run_trace
+
+TRACE_LENGTH = 30_000
+WARMUP = 4_000
+
+
+def variants():
+    ring = default_config(16)
+    yield "ring, centralized", ring
+    yield "grid, centralized", grid_config(16)
+    yield "ring, 2-cycle hops", ring.with_interconnect(
+        dataclasses.replace(ring.interconnect, hop_latency=2)
+    )
+    yield "ring, decentralized", decentralized_config(16)
+    yield "ring, free mem comm", ring.with_interconnect(
+        dataclasses.replace(ring.interconnect, free_memory_communication=True)
+    )
+    yield "ring, free reg comm", ring.with_interconnect(
+        dataclasses.replace(ring.interconnect, free_register_communication=True)
+    )
+
+
+def main() -> None:
+    for bench in ("swim", "vpr"):
+        trace = generate_trace(get_profile(bench), TRACE_LENGTH, seed=3)
+        print(f"\n=== {bench} (16 clusters) ===")
+        baseline = None
+        for label, config in variants():
+            result = run_trace(trace, config, warmup=WARMUP, label=label)
+            if baseline is None:
+                baseline = result.ipc
+            rel = 100 * (result.ipc / baseline - 1)
+            print(f"  {label:22s} IPC {result.ipc:.3f}  ({rel:+5.1f}% vs ring)  "
+                  f"avg reg-transfer latency "
+                  f"{result.stats.avg_register_transfer_latency:.1f} cycles")
+
+
+if __name__ == "__main__":
+    main()

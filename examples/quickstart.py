@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a benchmark on static and dynamic cluster configs.
+
+Builds the paper's base 16-cluster processor (ring interconnect,
+centralized cache), runs the synthetic `gzip` benchmark on a few static
+cluster counts, then lets the Figure 4 interval-based algorithm choose the
+cluster count dynamically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExploreConfig,
+    IntervalExploreController,
+    StaticController,
+    default_config,
+    generate_trace,
+    get_profile,
+    simulate,
+)
+
+TRACE_LENGTH = 30_000
+
+
+def main() -> None:
+    profile = get_profile("gzip")
+    print(f"benchmark: {profile.name} — {profile.description}")
+    trace = generate_trace(profile, TRACE_LENGTH, seed=42)
+    print(f"trace: {len(trace)} instructions, "
+          f"{trace.branch_count} branches, {trace.memref_count} memory refs\n")
+
+    config = default_config(num_clusters=16)
+
+    print("static configurations:")
+    for n in (2, 4, 8, 16):
+        stats = simulate(trace, config, StaticController(n))
+        print(f"  {n:2d} clusters: IPC {stats.ipc:.3f} "
+              f"(branch accuracy {stats.branch_accuracy:.1%}, "
+              f"L1 hit rate {stats.l1_hit_rate:.1%})")
+
+    controller = IntervalExploreController(ExploreConfig.scaled())
+    stats = simulate(trace, config, controller)
+    print(f"\ndynamic (interval-based with exploration):")
+    print(f"  IPC {stats.ipc:.3f}, {stats.reconfigurations} reconfigurations, "
+          f"{stats.avg_active_clusters:.1f} clusters active on average")
+    print(f"  configurations chosen: {controller.choice_counts}")
+
+
+if __name__ == "__main__":
+    main()

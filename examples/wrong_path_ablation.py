@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Ablation: stall-on-mispredict vs wrong-path fetch modeling.
+
+By default this simulator stalls fetch at a mispredicted branch (the
+trace-driven convention).  `FrontEndConfig.model_wrong_path` instead
+fabricates wrong-path instructions that occupy fetch/dispatch bandwidth,
+issue-queue slots, and registers until the branch resolves and squashes
+them — the behaviour of an execution-driven machine like the paper's
+SimpleScalar setup.
+
+This ablation quantifies the difference on a branchy and a predictable
+benchmark: how much wrong-path work gets fetched and squashed, and what it
+costs.
+
+Run:  python examples/wrong_path_ablation.py
+"""
+
+import dataclasses
+
+from repro import StaticController, default_config, generate_trace, get_profile, simulate
+
+TRACE_LENGTH = 20_000
+
+
+def _with_wrong_path(config):
+    fe = dataclasses.replace(config.front_end, model_wrong_path=True)
+    return dataclasses.replace(config, front_end=fe)
+
+
+def main() -> None:
+    base = default_config(16)
+    wrong = _with_wrong_path(base)
+    print(f"{'bench':8s} {'mode':12s} {'IPC':>6s} {'mispredicts':>11s} "
+          f"{'squashed':>9s} {'squash/real':>11s}")
+    for bench in ("vpr", "crafty", "swim"):
+        trace = generate_trace(get_profile(bench), TRACE_LENGTH, seed=7)
+        for label, config in (("stall", base), ("wrong-path", wrong)):
+            stats = simulate(trace, config, StaticController(16))
+            ratio = stats.squashed / max(1, stats.committed)
+            print(f"{bench:8s} {label:12s} {stats.ipc:6.3f} "
+                  f"{stats.mispredicts:11d} {stats.squashed:9d} {ratio:11.2f}")
+    print("\nAt these parameters the squashed work rides in otherwise-idle "
+          "slots,\nso IPC barely moves — which is why the stall model is the "
+          "default\n(see DESIGN.md deviation 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""repro — reproduction of "Dynamically Managing the Communication-
+Parallelism Trade-off in Future Clustered Processors" (ISCA 2003).
+
+Public API tour:
+
+>>> from repro import get_profile, generate_trace, default_config, simulate
+>>> trace = generate_trace(get_profile("gzip"), length=20_000, seed=1)
+>>> stats = simulate(trace, default_config(num_clusters=16))
+>>> round(stats.ipc, 2)  # doctest: +SKIP
+1.7
+
+Dynamic reconfiguration (the paper's contribution):
+
+>>> from repro import IntervalExploreController, ExploreConfig
+>>> controller = IntervalExploreController(ExploreConfig.scaled())
+>>> stats = simulate(trace, default_config(), controller)  # doctest: +SKIP
+"""
+
+from .config import (
+    CacheConfig,
+    ClusterConfig,
+    FrontEndConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    centralized_cache,
+    decentralized_cache,
+    decentralized_config,
+    default_config,
+    grid_config,
+    monolithic_config,
+)
+from .core import (
+    DistantILPController,
+    ExploreConfig,
+    FineGrainConfig,
+    FineGrainController,
+    IntervalExploreController,
+    NoExploreConfig,
+    ReconfigurationController,
+    StaticController,
+    SubroutineController,
+    instability_factor,
+    instability_profile,
+    record_intervals,
+)
+from .energy import EnergyModel, compare_energy, leakage_savings
+from .errors import ConfigError, ReproError, SimulationError, WorkloadError
+from .partition import ScalingCurve, best_partition, measure_scaling, partition_report
+from .pipeline import ClusteredProcessor, simulate, simulate_monolithic
+from .stats import IntervalRecord, IntervalWindow, SimStats
+from .workloads import (
+    BENCHMARK_NAMES,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Profile,
+    Trace,
+    all_profiles,
+    generate_trace,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CacheConfig",
+    "ClusterConfig",
+    "ClusteredProcessor",
+    "ConfigError",
+    "EnergyModel",
+    "DistantILPController",
+    "ExploreConfig",
+    "FineGrainConfig",
+    "FineGrainController",
+    "FrontEndConfig",
+    "InterconnectConfig",
+    "IntervalExploreController",
+    "IntervalRecord",
+    "IntervalWindow",
+    "MemoryConfig",
+    "NoExploreConfig",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "ProcessorConfig",
+    "Profile",
+    "ScalingCurve",
+    "ReconfigurationController",
+    "ReproError",
+    "SimStats",
+    "SimulationError",
+    "StaticController",
+    "SubroutineController",
+    "Trace",
+    "WorkloadError",
+    "all_profiles",
+    "best_partition",
+    "centralized_cache",
+    "compare_energy",
+    "decentralized_cache",
+    "decentralized_config",
+    "default_config",
+    "generate_trace",
+    "get_profile",
+    "grid_config",
+    "instability_factor",
+    "leakage_savings",
+    "instability_profile",
+    "measure_scaling",
+    "monolithic_config",
+    "partition_report",
+    "record_intervals",
+    "simulate",
+    "simulate_monolithic",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list                          # the nine benchmarks
+    python -m repro run gzip --clusters 4         # one static simulation
+    python -m repro run swim --controller explore # dynamic reconfiguration
+    python -m repro figure3 --length 20000        # regenerate an exhibit
+    python -m repro table4 --benchmarks swim,crafty
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .config import decentralized_config, default_config, grid_config, monolithic_config
+from .core import (
+    DistantILPController,
+    ExploreConfig,
+    FineGrainController,
+    IntervalExploreController,
+    NoExploreConfig,
+    StaticController,
+    SubroutineController,
+)
+from .experiments import (
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    print_figure3,
+    print_figure5,
+    print_figure6,
+    print_figure7,
+    print_figure8,
+    print_table3,
+    print_table4,
+    table3,
+    table4,
+)
+from .experiments.runner import run_trace
+from .workloads.generator import generate_trace
+from .workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, get_profile
+
+_EXHIBITS = {
+    "figure3": (figure3, print_figure3),
+    "figure5": (figure5, print_figure5),
+    "figure6": (figure6, print_figure6),
+    "figure7": (figure7, print_figure7),
+    "figure8": (figure8, print_figure8),
+    "table3": (table3, print_table3),
+    "table4": (table4, print_table4),
+}
+
+_CONFIGS = {
+    "ring": default_config,
+    "grid": grid_config,
+    "decentralized": decentralized_config,
+}
+
+
+def _make_controller(name: str, clusters: int):
+    if name == "static":
+        return StaticController(clusters)
+    if name == "explore":
+        return IntervalExploreController(ExploreConfig.scaled())
+    if name == "no-explore":
+        return DistantILPController(NoExploreConfig.scaled())
+    if name == "finegrain":
+        return FineGrainController()
+    if name == "subroutine":
+        return SubroutineController()
+    raise ValueError(f"unknown controller {name!r}")
+
+
+def _parse_benchmarks(spec: Optional[str]) -> Sequence[str]:
+    if not spec:
+        return BENCHMARK_NAMES
+    names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    for n in names:
+        if n not in BENCHMARK_NAMES:
+            raise SystemExit(f"unknown benchmark {n!r}; choose from {BENCHMARK_NAMES}")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clustered-processor reconfiguration reproduction (ISCA 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the nine benchmark profiles")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run.add_argument("--length", type=int, default=30_000)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--clusters", type=int, default=16,
+                     help="active clusters for the static controller")
+    run.add_argument("--machine", choices=sorted(_CONFIGS) + ["monolithic"],
+                     default="ring")
+    run.add_argument(
+        "--controller",
+        choices=["static", "explore", "no-explore", "finegrain", "subroutine"],
+        default="static",
+    )
+    run.add_argument("--warmup", type=int, default=4_000)
+
+    for name in _EXHIBITS:
+        ex = sub.add_parser(name, help=f"regenerate {name}")
+        ex.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: all nine)")
+        ex.add_argument("--length", type=int, default=None,
+                        help="trace length (default: 60000 x REPRO_TRACE_SCALE)")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in BENCHMARK_NAMES:
+        profile = get_profile(name)
+        ipc, interval = PAPER_TABLE3[name]
+        print(f"{name:8s} paper IPC {ipc:4.2f}, mispredict interval {interval:>6d}  "
+              f"— {profile.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = generate_trace(get_profile(args.benchmark), args.length, args.seed)
+    if args.machine == "monolithic":
+        config = monolithic_config()
+        controller = None
+    else:
+        config = _CONFIGS[args.machine](16)
+        controller = _make_controller(args.controller, args.clusters)
+    result = run_trace(trace, config, controller, warmup=args.warmup)
+    s = result.stats
+    print(f"{args.benchmark} on {args.machine} "
+          f"({args.controller}{'' if args.controller != 'static' else f'-{args.clusters}'})")
+    print(f"  IPC                {result.ipc:.3f}")
+    print(f"  cycles             {result.cycles}")
+    print(f"  branch accuracy    {s.branch_accuracy:.1%}")
+    print(f"  mispredict intvl   {result.mispredict_interval:.0f}")
+    print(f"  L1 hit rate        {s.l1_hit_rate:.1%}")
+    print(f"  avg active clstrs  {result.avg_active_clusters:.1f}")
+    print(f"  reconfigurations   {result.reconfigurations}")
+    return 0
+
+
+def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
+    generate, render = _EXHIBITS[name]
+    results = generate(
+        benchmarks=_parse_benchmarks(args.benchmarks),
+        trace_length=args.length,
+    )
+    print(render(results))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_exhibit(args.command, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Cluster resources and instruction steering."""
+
+from .cluster import Cluster
+from .criticality import CriticalityPredictor
+from .functional_units import EXEC_LATENCY, FU_POOL, FunctionalUnits
+from .steering import (
+    FirstFitSteering,
+    ModNSteering,
+    ProducerSteering,
+    SteeringHeuristic,
+)
+
+__all__ = [
+    "Cluster",
+    "CriticalityPredictor",
+    "EXEC_LATENCY",
+    "FU_POOL",
+    "FirstFitSteering",
+    "FunctionalUnits",
+    "ModNSteering",
+    "ProducerSteering",
+    "SteeringHeuristic",
+]

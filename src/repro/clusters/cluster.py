@@ -1,0 +1,101 @@
+"""One cluster: issue queues, register files, functional units.
+
+The paper splits every cluster into an integer half and a floating-point
+half (15 issue-queue entries and 30 physical registers each).  The cluster
+tracks occupancy; the pipeline owns instruction state and the per-cycle
+select loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import ClusterConfig
+from ..errors import SimulationError
+from ..workloads.instruction import OpClass
+from .functional_units import FunctionalUnits
+
+
+class Cluster:
+    """Occupancy bookkeeping for one cluster."""
+
+    def __init__(self, cid: int, config: ClusterConfig) -> None:
+        self.cid = cid
+        self.config = config
+        self.fus = FunctionalUnits(config)
+        self._int_iq = 0
+        self._fp_iq = 0
+        self._int_regs = 0
+        self._fp_regs = 0
+        #: in-flight instruction records waiting to issue (pipeline objects)
+        self.issue_queue: List[object] = []
+
+    # ------------------------------------------------------------------
+    # capacity checks used by steering
+
+    def _is_fp(self, op: OpClass) -> bool:
+        return op in (OpClass.FP_ALU, OpClass.FP_MUL)
+
+    def iq_has_room(self, op: OpClass) -> bool:
+        if self._is_fp(op):
+            return self._fp_iq < self.config.issue_queue_size
+        return self._int_iq < self.config.issue_queue_size
+
+    def reg_available(self, op: OpClass, needs_reg: bool) -> bool:
+        if not needs_reg:
+            return True
+        if self._is_fp(op):
+            return self._fp_regs < self.config.regfile_size
+        return self._int_regs < self.config.regfile_size
+
+    def can_accept(self, op: OpClass, needs_reg: bool) -> bool:
+        return self.iq_has_room(op) and self.reg_available(op, needs_reg)
+
+    @property
+    def iq_occupancy(self) -> int:
+        return self._int_iq + self._fp_iq
+
+    @property
+    def reg_occupancy(self) -> int:
+        return self._int_regs + self._fp_regs
+
+    # ------------------------------------------------------------------
+    # state transitions (called by the pipeline)
+
+    def allocate(self, record: object, op: OpClass, needs_reg: bool) -> None:
+        if not self.can_accept(op, needs_reg):
+            raise SimulationError(f"cluster {self.cid}: allocate without room")
+        if self._is_fp(op):
+            self._fp_iq += 1
+            if needs_reg:
+                self._fp_regs += 1
+        else:
+            self._int_iq += 1
+            if needs_reg:
+                self._int_regs += 1
+        self.issue_queue.append(record)
+
+    def on_issue(self, record: object, op: OpClass) -> None:
+        """The record left the issue queue (the list entry is removed by the
+        pipeline's select loop)."""
+        if self._is_fp(op):
+            self._fp_iq -= 1
+        else:
+            self._int_iq -= 1
+
+    def on_commit(self, op: OpClass, needs_reg: bool) -> None:
+        if needs_reg:
+            if self._is_fp(op):
+                self._fp_regs -= 1
+            else:
+                self._int_regs -= 1
+
+    def reset_for_drain_check(self) -> bool:
+        """True if the cluster holds no instructions (fully drained)."""
+        return (
+            self._int_iq == 0
+            and self._fp_iq == 0
+            and self._int_regs == 0
+            and self._fp_regs == 0
+            and not self.issue_queue
+        )

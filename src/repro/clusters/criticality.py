@@ -1,0 +1,40 @@
+"""Critical-operand predictor used by the steering heuristic.
+
+The paper's steering "uses a criticality predictor [Fields et al., Tune et
+al.] to give a higher priority to the cluster that produces the critical
+source operand".  We implement the standard last-arriving-operand learner: a
+PC-indexed table remembering which source operand of an instruction arrived
+last the previous time it executed; the steering heuristic then prefers the
+cluster producing that operand.
+"""
+
+from __future__ import annotations
+
+
+class CriticalityPredictor:
+    """PC-indexed table predicting which operand (0 or 1) is critical."""
+
+    def __init__(self, size: int = 1024) -> None:
+        if size < 1 or size & (size - 1):
+            raise ValueError("size must be a positive power of two")
+        self.size = size
+        # 2-bit hysteresis: >= 2 predicts operand 1 is critical
+        self._table = [1] * size
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.size - 1)
+
+    def predict_critical_operand(self, pc: int) -> int:
+        return 1 if self._table[self._index(pc)] >= 2 else 0
+
+    def update(self, pc: int, critical_operand: int) -> None:
+        if critical_operand not in (0, 1):
+            raise ValueError("critical_operand must be 0 or 1")
+        i = self._index(pc)
+        c = self._table[i]
+        if critical_operand == 1:
+            if c < 3:
+                self._table[i] = c + 1
+        else:
+            if c > 0:
+                self._table[i] = c - 1

@@ -1,0 +1,174 @@
+"""Instruction steering heuristics (Section 2.1).
+
+The primary heuristic is the state-of-the-art one the paper uses: steer an
+instruction to the cluster producing most of its operands; break ties with
+a criticality predictor; and fall back to the least-loaded cluster when the
+issue-queue imbalance exceeds an (empirically tuned) threshold.  With the
+decentralized cache, loads and stores are steered to the cluster predicted
+to cache their data.
+
+``ModNSteering`` and ``FirstFitSteering`` are the two reference policies of
+Baniasadi & Moshovos that the threshold mechanism approximates: Mod_N
+minimizes load imbalance, First_Fit minimizes communication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..workloads.instruction import Instr, OpClass
+from .cluster import Cluster
+from .criticality import CriticalityPredictor
+
+
+class SteeringHeuristic:
+    """Base interface: pick an *active, feasible* cluster or None (stall)."""
+
+    def __init__(self, clusters: Sequence[Cluster]) -> None:
+        self.clusters = clusters
+
+    def _feasible(
+        self, op: OpClass, needs_reg: bool, active: int
+    ) -> List[int]:
+        return [
+            k
+            for k in range(active)
+            if self.clusters[k].can_accept(op, needs_reg)
+        ]
+
+    def choose(
+        self,
+        instr: Instr,
+        producer_clusters: Sequence[Tuple[int, int]],
+        active: int,
+        preferred: Optional[int] = None,
+    ) -> Optional[int]:
+        """Pick the destination cluster for ``instr``.
+
+        Args:
+            instr: the instruction being renamed.
+            producer_clusters: (operand_position, cluster) for each source
+                operand whose producer is still in flight.
+            active: number of currently active clusters (0..active-1).
+            preferred: cache-bank hint for loads/stores (decentralized).
+        """
+        raise NotImplementedError
+
+
+class ProducerSteering(SteeringHeuristic):
+    """The paper's heuristic: producer-preference + criticality tiebreak +
+    load-imbalance threshold (+ bank preference for memory ops)."""
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        criticality: Optional[CriticalityPredictor] = None,
+        imbalance_threshold: int = 4,
+    ) -> None:
+        super().__init__(clusters)
+        self.criticality = criticality or CriticalityPredictor()
+        self.imbalance_threshold = imbalance_threshold
+
+    def _least_loaded(self, feasible: List[int]) -> int:
+        return min(feasible, key=lambda k: (self.clusters[k].iq_occupancy, k))
+
+    def choose(
+        self,
+        instr: Instr,
+        producer_clusters: Sequence[Tuple[int, int]],
+        active: int,
+        preferred: Optional[int] = None,
+    ) -> Optional[int]:
+        feasible = self._feasible(instr.op, instr.has_dest, active)
+        if not feasible:
+            return None
+        feasible_set = set(feasible)
+
+        # 1. decentralized cache: favour the predicted bank cluster
+        if preferred is not None and preferred in feasible_set:
+            return preferred
+
+        # 2. producer preference
+        candidate: Optional[int] = None
+        usable = [(pos, c) for pos, c in producer_clusters if c in feasible_set]
+        if usable:
+            counts: dict = {}
+            for _, c in usable:
+                counts[c] = counts.get(c, 0) + 1
+            best = max(counts.values())
+            top = [c for c, n in counts.items() if n == best]
+            if len(top) == 1:
+                candidate = top[0]
+            else:
+                # tie: trust the criticality predictor's operand choice
+                crit = self.criticality.predict_critical_operand(instr.pc)
+                for pos, c in usable:
+                    if pos == crit and c in top:
+                        candidate = c
+                        break
+                if candidate is None:
+                    candidate = top[0]
+
+        # 3. load-imbalance override / no-producer fallback
+        least = self._least_loaded(feasible)
+        if candidate is None:
+            return least
+        gap = self.clusters[candidate].iq_occupancy - self.clusters[least].iq_occupancy
+        if gap > self.imbalance_threshold:
+            return least
+        return candidate
+
+
+class ModNSteering(SteeringHeuristic):
+    """Steer N consecutive instructions to a cluster, then move to the next
+    (minimizes load imbalance at the cost of communication)."""
+
+    def __init__(self, clusters: Sequence[Cluster], n: int = 3) -> None:
+        super().__init__(clusters)
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._count = 0
+        self._current = 0
+
+    def choose(
+        self,
+        instr: Instr,
+        producer_clusters: Sequence[Tuple[int, int]],
+        active: int,
+        preferred: Optional[int] = None,
+    ) -> Optional[int]:
+        feasible = self._feasible(instr.op, instr.has_dest, active)
+        if not feasible:
+            return None
+        if self._current >= active:
+            self._current = 0
+        if self._count >= self.n:
+            self._count = 0
+            self._current = (self._current + 1) % active
+        for probe in range(active):
+            k = (self._current + probe) % active
+            if k in feasible:
+                if k != self._current:
+                    self._current = k
+                    self._count = 0
+                self._count += 1
+                return k
+        return None
+
+
+class FirstFitSteering(SteeringHeuristic):
+    """Fill one cluster before moving to its neighbour (minimizes
+    communication at the cost of load imbalance)."""
+
+    def choose(
+        self,
+        instr: Instr,
+        producer_clusters: Sequence[Tuple[int, int]],
+        active: int,
+        preferred: Optional[int] = None,
+    ) -> Optional[int]:
+        feasible = self._feasible(instr.op, instr.has_dest, active)
+        if not feasible:
+            return None
+        return feasible[0]

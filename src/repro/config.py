@@ -1,0 +1,265 @@
+"""Processor, cache, and interconnect configuration.
+
+The defaults reproduce Table 1 and Table 2 of the paper:
+
+* Table 1 — front-end, window, and per-cluster resources of the 16-cluster
+  wire-delay-limited processor (Simplescalar-derived model).
+* Table 2 — the centralized (32KB, 4-way word-interleaved, 6-cycle) and
+  decentralized (16KB single-ported 4-cycle bank per cluster) L1 caches.
+
+Everything is a plain frozen dataclass so configurations can be shared,
+hashed, and swept without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigError
+
+# Execution latencies (cycles), patterned on Simplescalar/Alpha 21264.
+INT_ALU_LATENCY = 1
+INT_MUL_LATENCY = 7
+INT_DIV_LATENCY = 12
+FP_ALU_LATENCY = 4
+FP_MUL_LATENCY = 4
+FP_DIV_LATENCY = 12
+BRANCH_LATENCY = 1
+ADDRESS_GEN_LATENCY = 1
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Fetch/decode/rename front-end parameters (Table 1)."""
+
+    fetch_width: int = 8
+    fetch_queue_size: int = 64
+    max_basic_blocks_per_fetch: int = 2
+    dispatch_width: int = 16
+    commit_width: int = 16
+    # The paper quotes "at least 12 cycles" of branch mispredict penalty;
+    # we model it as the depth of the front-end pipeline between fetch and
+    # dispatch, plus the (variable) hop latency from the resolving cluster.
+    pipeline_depth: int = 12
+    #: optionally fetch synthetic wrong-path instructions after a
+    #: misprediction instead of stalling; they consume fetch/dispatch/issue
+    #: bandwidth, issue-queue entries, and registers until the branch
+    #: resolves and squashes them (an execution-driven machine's behaviour;
+    #: off by default — the calibrated thresholds assume stall-on-mispredict)
+    model_wrong_path: bool = False
+    # Combining branch predictor (bimodal + 2-level) sizes.
+    bimodal_size: int = 2048
+    level1_size: int = 1024
+    history_bits: int = 10
+    level2_size: int = 4096
+    chooser_size: int = 4096
+    btb_sets: int = 2048
+    btb_assoc: int = 2
+    ras_size: int = 32
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Resources inside one cluster (Table 1: int and fp each)."""
+
+    issue_queue_size: int = 15
+    regfile_size: int = 30
+    int_alus: int = 1
+    int_muls: int = 1
+    fp_alus: int = 1
+    fp_muls: int = 1
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level (sizes in bytes)."""
+
+    size: int = 32 * 1024
+    assoc: int = 2
+    line_size: int = 32
+    latency: int = 6
+    banks: int = 4
+    ports_per_bank: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """L1 organization plus the shared L2/DRAM backend (Tables 1 and 2)."""
+
+    #: "centralized" or "decentralized"
+    organization: str = "centralized"
+    l1: CacheConfig = field(default_factory=CacheConfig)
+    l2_latency: int = 25
+    memory_latency: int = 160
+    lsq_size_per_cluster: int = 15
+    #: if True, a load waits for *all* earlier store addresses (ablation);
+    #: default is address-precise (SimpleScalar-style) disambiguation
+    conservative_disambiguation: bool = False
+    # Two-level bank predictor (decentralized cache only), after Yoaz et al.
+    bank_predictor_l1_size: int = 1024
+    bank_predictor_l2_size: int = 4096
+    bank_predictor_history_bits: int = 6
+
+
+def centralized_cache() -> MemoryConfig:
+    """Table 2, 'centralized' column: 32KB 2-way, 32B lines, 4 banks, 6 cyc."""
+    return MemoryConfig(
+        organization="centralized",
+        l1=CacheConfig(size=32 * 1024, assoc=2, line_size=32, latency=6, banks=4),
+    )
+
+
+def decentralized_cache(num_clusters: int = 16) -> MemoryConfig:
+    """Table 2, 'decentralized' column: a 16KB 2-way single-ported 4-cycle
+    bank in each cluster, 8-byte interleaving across clusters."""
+    return MemoryConfig(
+        organization="decentralized",
+        l1=CacheConfig(
+            size=16 * 1024,
+            assoc=2,
+            line_size=8,
+            latency=4,
+            banks=1,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Cluster-to-cluster network (Section 2.3)."""
+
+    #: "ring" (two unidirectional rings) or "grid" (2-D array, XY routing)
+    topology: str = "ring"
+    hop_latency: int = 1
+    #: links carry one word-group transfer per cycle in each direction
+    link_bandwidth: int = 1
+    #: model link contention (can be disabled for idealization studies)
+    model_contention: bool = True
+    #: idealization switches used by the Section 4/5 communication breakdown
+    free_memory_communication: bool = False
+    free_register_communication: bool = False
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Complete configuration of the clustered processor."""
+
+    num_clusters: int = 16
+    rob_size: int = 480
+    front_end: FrontEndConfig = field(default_factory=FrontEndConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    memory: MemoryConfig = field(default_factory=centralized_cache)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    #: cluster that hosts the centralized LSQ/cache, the L2, and the front end
+    home_cluster: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ConfigError(f"num_clusters must be >= 1, got {self.num_clusters}")
+        if self.interconnect.topology not in ("ring", "grid"):
+            raise ConfigError(f"unknown topology {self.interconnect.topology!r}")
+        if self.memory.organization not in ("centralized", "decentralized"):
+            raise ConfigError(
+                f"unknown cache organization {self.memory.organization!r}"
+            )
+        if self.home_cluster >= self.num_clusters:
+            raise ConfigError("home_cluster must name an existing cluster")
+
+    @property
+    def max_inflight(self) -> int:
+        """Upper bound on in-flight instructions with all clusters active."""
+        return min(self.rob_size, self.num_clusters * self.cluster.regfile_size * 2)
+
+    def with_clusters(self, n: int) -> "ProcessorConfig":
+        """A copy of this configuration with ``n`` total clusters."""
+        return replace(self, num_clusters=n)
+
+    def with_memory(self, memory: MemoryConfig) -> "ProcessorConfig":
+        return replace(self, memory=memory)
+
+    def with_interconnect(self, interconnect: InterconnectConfig) -> "ProcessorConfig":
+        return replace(self, interconnect=interconnect)
+
+    def with_cluster_resources(self, cluster: ClusterConfig) -> "ProcessorConfig":
+        return replace(self, cluster=cluster)
+
+
+def default_config(num_clusters: int = 16) -> ProcessorConfig:
+    """The paper's base 16-cluster model: ring interconnect, centralized
+    cache, Table 1 resources."""
+    return ProcessorConfig(num_clusters=num_clusters)
+
+
+def grid_config(num_clusters: int = 16) -> ProcessorConfig:
+    """Section 6 grid-interconnect variant."""
+    return ProcessorConfig(
+        num_clusters=num_clusters,
+        interconnect=InterconnectConfig(topology="grid"),
+    )
+
+
+def decentralized_config(num_clusters: int = 16) -> ProcessorConfig:
+    """Section 5 decentralized-cache variant."""
+    return ProcessorConfig(
+        num_clusters=num_clusters,
+        memory=decentralized_cache(num_clusters),
+    )
+
+
+def monolithic_config() -> ProcessorConfig:
+    """A monolithic processor with as many resources as the 16-cluster
+    system and no inter-cluster communication (Table 3 baseline)."""
+    memory = replace(centralized_cache(), lsq_size_per_cluster=15 * 16)
+    return ProcessorConfig(
+        num_clusters=1,
+        cluster=ClusterConfig(
+            issue_queue_size=15 * 16,
+            regfile_size=30 * 16,
+            int_alus=16,
+            int_muls=16,
+            fp_alus=16,
+            fp_muls=16,
+        ),
+        memory=memory,
+        interconnect=InterconnectConfig(topology="ring", model_contention=False),
+    )
+
+
+def config_summary(config: ProcessorConfig) -> str:
+    """One-line human-readable summary of a configuration."""
+    mem = config.memory.organization
+    top = config.interconnect.topology
+    return (
+        f"{config.num_clusters} clusters, {top} interconnect, {mem} cache, "
+        f"{config.cluster.issue_queue_size} IQ / {config.cluster.regfile_size} regs "
+        f"per cluster"
+    )
+
+
+def validate_config(config: ProcessorConfig) -> None:
+    """Raise :class:`ConfigError` on semantically invalid configurations.
+
+    ``__post_init__`` catches structural issues; this adds cross-field
+    checks used by the experiment harness before long runs.
+    """
+    if config.interconnect.topology == "grid":
+        side = int(round(config.num_clusters ** 0.5))
+        if side * side != config.num_clusters and config.num_clusters % 4 != 0:
+            raise ConfigError(
+                "grid topology needs a rectangular cluster count, got "
+                f"{config.num_clusters}"
+            )
+    if config.memory.organization == "decentralized":
+        if config.memory.l1.banks != 1:
+            raise ConfigError("decentralized cache uses one bank per cluster")
+    if config.front_end.fetch_width > config.front_end.fetch_queue_size:
+        raise ConfigError("fetch width cannot exceed the fetch queue size")
+    for f in dataclasses.fields(ClusterConfig):
+        if getattr(config.cluster, f.name) < 1:
+            raise ConfigError(f"cluster.{f.name} must be positive")

@@ -1,0 +1,51 @@
+"""The paper's contribution: dynamic cluster-count reconfiguration."""
+
+from .controller import (
+    IntervalController,
+    ReconfigurationController,
+    StaticController,
+)
+from .distant_ilp import DEFAULT_WINDOW, DistantWindow
+from .finegrain import FineGrainConfig, FineGrainController, ReconfigTable
+from .instability import (
+    InstabilityProfile,
+    RecordingController,
+    instability_factor,
+    instability_profile,
+    record_intervals,
+)
+from .interval_explore import ExploreConfig, IntervalExploreController
+from .interval_noexplore import DistantILPController, NoExploreConfig
+from .phase import (
+    PhaseDetectConfig,
+    PhaseReference,
+    PhaseSignals,
+    compare_to_reference,
+)
+from .subroutine import SubroutineController, subroutine_config
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DistantILPController",
+    "DistantWindow",
+    "ExploreConfig",
+    "FineGrainConfig",
+    "FineGrainController",
+    "InstabilityProfile",
+    "IntervalController",
+    "IntervalExploreController",
+    "NoExploreConfig",
+    "PhaseDetectConfig",
+    "PhaseReference",
+    "PhaseSignals",
+    "ReconfigTable",
+    "ReconfigurationController",
+    "RecordingController",
+    "StaticController",
+    "SubroutineController",
+    "compare_to_reference",
+    "instability_factor",
+    "instability_profile",
+    "record_intervals",
+    "subroutine_config",
+]

@@ -1,0 +1,98 @@
+"""Reconfiguration controller interface and the static baselines.
+
+A controller observes the committed instruction stream through two hooks
+(the paper's "hardware event counters" view) and reconfigures the machine by
+calling ``processor.set_active_clusters(n)``:
+
+* ``on_commit(instr, cycle, distant)`` — every committed instruction, with
+  its distant-ILP mark;
+* ``on_dispatch(instr, cycle)`` — every dispatched instruction, delivered
+  only when the controller sets ``needs_dispatch_events`` (used by the
+  fine-grained schemes, which react at branch boundaries in the front end).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..stats import IntervalTracker
+from ..workloads.instruction import Instr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.processor import ClusteredProcessor
+
+
+class ReconfigurationController:
+    """Base class; does nothing (the machine stays fully enabled)."""
+
+    needs_dispatch_events = False
+
+    def __init__(self) -> None:
+        self.processor: Optional["ClusteredProcessor"] = None
+
+    def attach(self, processor: "ClusteredProcessor") -> None:
+        self.processor = processor
+
+    def on_commit(self, instr: Instr, cycle: int, distant: bool) -> None:
+        """Called once per committed instruction."""
+
+    def on_dispatch(self, instr: Instr, cycle: int) -> None:
+        """Called once per dispatched instruction (opt-in)."""
+
+
+class StaticController(ReconfigurationController):
+    """Fixes the active cluster count once at the start of the run.
+
+    ``StaticController(4)`` on a 16-cluster machine is the paper's "static 4"
+    base case: 4 active clusters but the full 16-cluster communication
+    geometry (the disabled clusters still occupy ring positions).
+    """
+
+    def __init__(self, num_clusters: int) -> None:
+        super().__init__()
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be positive")
+        self.num_clusters = num_clusters
+
+    def attach(self, processor: "ClusteredProcessor") -> None:
+        super().attach(processor)
+        processor.set_active_clusters(self.num_clusters, reason="static")
+
+
+class IntervalController(ReconfigurationController):
+    """Shared machinery for interval-based controllers: fires
+    ``on_interval(window)`` every ``interval_length`` committed instructions.
+
+    Subclasses may change ``interval_length`` between intervals (the
+    variable-interval mechanism of Section 4.2).
+    """
+
+    def __init__(self, interval_length: int, invocation_overhead: int = 0) -> None:
+        super().__init__()
+        if interval_length < 1:
+            raise ValueError("interval_length must be positive")
+        if invocation_overhead < 0:
+            raise ValueError("invocation_overhead must be non-negative")
+        self.interval_length = interval_length
+        #: cycles the software handler steals per invocation (the paper
+        #: estimates well under 1% even at 10K-instruction intervals)
+        self.invocation_overhead = invocation_overhead
+        self._tracker: Optional[IntervalTracker] = None
+        self._since_boundary = 0
+
+    def attach(self, processor: "ClusteredProcessor") -> None:
+        super().attach(processor)
+        self._tracker = IntervalTracker(processor.stats)
+        self._since_boundary = 0
+
+    def on_commit(self, instr: Instr, cycle: int, distant: bool) -> None:
+        self._since_boundary += 1
+        if self._since_boundary >= self.interval_length:
+            self._since_boundary = 0
+            if self.invocation_overhead:
+                self.processor.stall_dispatch_for(self.invocation_overhead)
+            window = self._tracker.since_last()
+            self.on_interval(window, cycle)
+
+    def on_interval(self, window, cycle: int) -> None:
+        raise NotImplementedError

@@ -1,0 +1,63 @@
+"""Distant-ILP measurement (Sections 4.3 and 4.4).
+
+An instruction is *distant* if, when it issued, it was at least
+``4 x regfile_size`` (= 120) entries younger than the oldest instruction in
+the ROB — i.e. it could only have been reached with more than four clusters'
+worth of in-flight window.  The pipeline marks each committed instruction;
+this module provides:
+
+* :class:`DistantWindow` — the hardware structure of Section 4.4: a queue of
+  the last 360 committed instructions with a running count of how many were
+  distant.  When a branch becomes the oldest entry of the queue, the counter
+  value *is* that branch's degree of distant ILP, and the window emits a
+  (pc, count) sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+#: the paper tracks the 360 committed instructions following a branch
+#: (three clusters' worth beyond the 120 supported by four clusters)
+DEFAULT_WINDOW = 360
+
+
+class DistantWindow:
+    """Sliding window of committed instructions with a distant-ILP counter."""
+
+    __slots__ = ("window", "_queue", "_count")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        # entries: (branch_pc or -1, distant flag)
+        self._queue: Deque[Tuple[int, bool]] = deque()
+        self._count = 0
+
+    @property
+    def distant_count(self) -> int:
+        """Distant instructions currently inside the window."""
+        return self._count
+
+    def push(self, branch_pc: int, distant: bool) -> Optional[Tuple[int, int]]:
+        """Add a committed instruction (``branch_pc`` is -1 for non-branches).
+
+        Returns a (pc, distant_count) sample when a *branch* exits the
+        window — the count of distant instructions among the ``window``
+        instructions that followed it.
+        """
+        self._queue.append((branch_pc, distant))
+        if distant:
+            self._count += 1
+        if len(self._queue) <= self.window:
+            return None
+        old_pc, old_distant = self._queue.popleft()
+        if old_distant:
+            self._count -= 1
+        if old_pc >= 0:
+            # the counter now covers exactly the `window` instructions that
+            # committed after this branch
+            return (old_pc, self._count)
+        return None

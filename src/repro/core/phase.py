@@ -1,0 +1,68 @@
+"""Phase-change detection shared by the interval-based controllers.
+
+The paper defines a phase by three metrics gathered per interval: IPC,
+branch frequency, and memory-reference frequency.  Branch and memory counts
+are microarchitecture-independent, so they detect phase changes even while
+the controller is exploring different configurations; IPC is compared only
+once a configuration has been chosen.  A count differs "significantly" when
+it moves by more than ``interval_length / count_divisor`` (the paper uses
+interval_length/100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..stats import IntervalWindow
+
+
+@dataclass
+class PhaseReference:
+    """The statistics of the first interval of the current phase."""
+
+    branches: int
+    memrefs: int
+    ipc: Optional[float] = None  # set once a configuration is chosen
+
+
+@dataclass(frozen=True)
+class PhaseDetectConfig:
+    """Significance thresholds for phase-change detection."""
+
+    count_divisor: int = 100
+    ipc_tolerance: float = 0.10
+
+    def count_threshold(self, interval_length: int) -> float:
+        return interval_length / self.count_divisor
+
+
+@dataclass(frozen=True)
+class PhaseSignals:
+    """Which metrics changed significantly this interval."""
+
+    memrefs: bool
+    branches: bool
+    ipc: bool
+
+    @property
+    def counts_changed(self) -> bool:
+        return self.memrefs or self.branches
+
+
+def compare_to_reference(
+    window: IntervalWindow,
+    reference: PhaseReference,
+    interval_length: int,
+    detect: PhaseDetectConfig = PhaseDetectConfig(),
+) -> PhaseSignals:
+    """Classify an interval against the phase's reference point."""
+    threshold = detect.count_threshold(interval_length)
+    mem_changed = abs(window.memrefs - reference.memrefs) > threshold
+    br_changed = abs(window.branches - reference.branches) > threshold
+    ipc_changed = False
+    if reference.ipc is not None and reference.ipc > 0:
+        ipc_changed = (
+            abs(window.ipc - reference.ipc) / reference.ipc > detect.ipc_tolerance
+        )
+    return PhaseSignals(memrefs=mem_changed, branches=br_changed, ipc=ipc_changed)

@@ -1,0 +1,37 @@
+"""Fine-grained reconfiguration at subroutine boundaries (Section 4.4).
+
+The second fine-grained variant attempts configuration changes only at
+subroutine calls and returns, using three samples per site (the paper notes
+Huang et al.'s positional adaptation as the related idea).  It reuses the
+branch-boundary machinery but tracks and acts on call/return instructions
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..workloads.instruction import Instr
+from .finegrain import FineGrainConfig, FineGrainController
+
+
+def subroutine_config(base: Optional[FineGrainConfig] = None) -> FineGrainConfig:
+    """The paper's call/return variant: every boundary, three samples."""
+    base = base or FineGrainConfig()
+    return replace(base, branch_stride=1, samples_needed=3)
+
+
+class SubroutineController(FineGrainController):
+    """Reconfigures at every subroutine call and return."""
+
+    def __init__(self, config: Optional[FineGrainConfig] = None) -> None:
+        super().__init__(config or subroutine_config())
+
+    def _tracked_pc(self, instr: Instr) -> int:
+        if instr.is_branch and (instr.is_call or instr.is_return):
+            return instr.pc
+        return -1
+
+    def _should_attempt(self, instr: Instr) -> bool:
+        return instr.is_branch and (instr.is_call or instr.is_return)

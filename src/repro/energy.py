@@ -1,0 +1,92 @@
+"""Leakage-energy accounting for cluster disabling.
+
+The paper motivates dynamic cluster allocation partly through energy:
+"Entire clusters can turn off their supply voltage, thereby greatly saving
+on leakage energy, a technique that would not have been possible in a
+monolithic processor", and reports that 8.3 of 16 clusters are disabled on
+average.  This module quantifies that: a simple per-cluster-cycle leakage
+model plus dynamic per-instruction and per-transfer components, good enough
+to rank configurations (it is not a circuit-level power model).
+
+Units are arbitrary "energy units"; only ratios are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Relative energy coefficients.
+
+    Defaults follow the common rule of thumb for wire-limited deep-submicron
+    designs that leakage is a large fraction of total power: one cluster
+    leaks 1 unit per cycle while powered; executing an instruction costs 4
+    units; moving a value one hop costs 1 unit per hop-cycle.
+    """
+
+    cluster_leakage_per_cycle: float = 1.0
+    energy_per_instruction: float = 4.0
+    energy_per_transfer_cycle: float = 1.0
+    #: front-end + caches leak regardless of cluster gating
+    uncore_leakage_per_cycle: float = 4.0
+
+    def leakage(self, stats: SimStats) -> float:
+        """Leakage of the powered clusters plus the uncore."""
+        return (
+            self.cluster_leakage_per_cycle * stats.cluster_cycle_product
+            + self.uncore_leakage_per_cycle * stats.cycles
+        )
+
+    def dynamic(self, stats: SimStats) -> float:
+        transfer_cycles = (
+            stats.register_transfer_cycles + stats.memory_transfer_cycles
+        )
+        return (
+            self.energy_per_instruction * stats.committed
+            + self.energy_per_transfer_cycle * transfer_cycles
+        )
+
+    def total(self, stats: SimStats) -> float:
+        return self.leakage(stats) + self.dynamic(stats)
+
+    def energy_per_committed_instruction(self, stats: SimStats) -> float:
+        if stats.committed == 0:
+            return 0.0
+        return self.total(stats) / stats.committed
+
+
+def leakage_savings(stats: SimStats, total_clusters: int) -> float:
+    """Fraction of cluster leakage avoided by voltage-gating idle clusters.
+
+    With all clusters always powered, cluster leakage would be
+    ``total_clusters * cycles``; the gated machine leaks only for active
+    cluster-cycles.
+    """
+    if stats.cycles == 0 or total_clusters <= 0:
+        return 0.0
+    full = total_clusters * stats.cycles
+    return 1.0 - stats.cluster_cycle_product / full
+
+
+def compare_energy(
+    baseline: SimStats,
+    tuned: SimStats,
+    total_clusters: int,
+    model: EnergyModel = EnergyModel(),
+) -> dict:
+    """Energy-per-instruction comparison between two runs of the same work."""
+    return {
+        "baseline_epi": model.energy_per_committed_instruction(baseline),
+        "tuned_epi": model.energy_per_committed_instruction(tuned),
+        "leakage_savings": leakage_savings(tuned, total_clusters),
+        "epi_ratio": (
+            model.energy_per_committed_instruction(tuned)
+            / model.energy_per_committed_instruction(baseline)
+            if baseline.committed and tuned.committed
+            else 0.0
+        ),
+    }

@@ -1,0 +1,17 @@
+"""Exception types for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (internal invariant)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace could not be generated as requested."""

@@ -1,0 +1,74 @@
+"""ASCII reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else str(value)
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value % 1 else f"{value:.0f}"
+    return str(value)
+
+
+def ipc_table(
+    results: Mapping[str, Mapping[str, float]],
+    scheme_order: Sequence[str],
+    title: str,
+    baseline_schemes: Sequence[str] = (),
+) -> str:
+    """Benchmarks x schemes IPC matrix plus geomean row and, when baseline
+    schemes are named, the improvement of each scheme over the best
+    baseline (the paper's headline metric)."""
+    headers = ["benchmark"] + list(scheme_order)
+    rows = []
+    for bench in sorted(results):
+        rows.append([bench] + [results[bench].get(s, float("nan")) for s in scheme_order])
+    gm = {s: geomean(results[b].get(s, 0.0) for b in results) for s in scheme_order}
+    rows.append(["geomean"] + [gm[s] for s in scheme_order])
+    text = format_table(headers, rows, title)
+    if baseline_schemes:
+        best_base = max(baseline_schemes, key=lambda s: gm.get(s, 0.0))
+        lines = [text, f"best static base case: {best_base} (geomean {gm[best_base]:.3f})"]
+        for s in scheme_order:
+            if s in baseline_schemes:
+                continue
+            if gm.get(best_base):
+                imp = (gm[s] / gm[best_base] - 1.0) * 100.0
+                lines.append(f"  {s}: {imp:+.1f}% vs best static")
+        text = "\n".join(lines)
+    return text

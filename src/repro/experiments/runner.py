@@ -1,0 +1,114 @@
+"""Single-run experiment executor.
+
+All paper experiments measure steady-state behaviour, so the runner always
+excludes a warmup prefix (cold caches and predictors would otherwise
+dominate the short laptop-scale traces — the paper warmed its structures
+over two billion fast-forwarded instructions).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..config import ProcessorConfig, default_config
+from ..pipeline.processor import ClusteredProcessor
+from ..stats import SimStats
+from ..workloads.generator import Profile, generate_trace
+from ..workloads.instruction import Trace
+
+#: environment knob: multiply all default trace lengths (>=1); lets a beefier
+#: machine run closer to paper scale without editing benches
+TRACE_SCALE_ENV = "REPRO_TRACE_SCALE"
+
+DEFAULT_TRACE_LENGTH = 60_000
+DEFAULT_WARMUP = 6_000
+DEFAULT_SEED = 7
+
+
+def trace_scale() -> float:
+    try:
+        return max(0.1, float(os.environ.get(TRACE_SCALE_ENV, "1")))
+    except ValueError:
+        return 1.0
+
+
+def scaled_length(base: int = DEFAULT_TRACE_LENGTH) -> int:
+    return int(base * trace_scale())
+
+
+@dataclass
+class RunResult:
+    """Steady-state metrics of one simulation run."""
+
+    name: str
+    label: str
+    ipc: float
+    committed: int
+    cycles: int
+    mispredict_interval: float
+    avg_active_clusters: float
+    reconfigurations: int
+    stats: SimStats
+
+    def speedup_over(self, other: "RunResult") -> float:
+        if other.ipc == 0:
+            return float("inf")
+        return self.ipc / other.ipc
+
+
+def run_trace(
+    trace: Trace,
+    config: ProcessorConfig,
+    controller: Optional[object] = None,
+    warmup: int = DEFAULT_WARMUP,
+    label: str = "",
+) -> RunResult:
+    """Simulate a trace and report post-warmup steady-state metrics.
+
+    The controller (if any) runs from cycle zero — warmup only affects
+    *measurement*, exactly like the paper's fast-forward + warm simulation
+    methodology.
+    """
+    processor = ClusteredProcessor(trace, config, controller)
+    warmup = min(warmup, max(0, len(trace) - 1000))
+    while not processor.finished and processor.stats.committed < warmup:
+        processor.step()
+    cycles0 = processor.cycle
+    committed0 = processor.stats.committed
+    mispredicts0 = processor.stats.mispredicts
+    cluster_cycles0 = processor.stats.cluster_cycle_product
+    processor.run()
+    stats = processor.stats
+
+    cycles = max(1, stats.cycles - cycles0)
+    committed = stats.committed - committed0
+    mispredicts = stats.mispredicts - mispredicts0
+    return RunResult(
+        name=trace.name,
+        label=label,
+        ipc=committed / cycles,
+        committed=committed,
+        cycles=cycles,
+        mispredict_interval=(committed / mispredicts) if mispredicts else float("inf"),
+        avg_active_clusters=(stats.cluster_cycle_product - cluster_cycles0) / cycles,
+        reconfigurations=stats.reconfigurations,
+        stats=stats,
+    )
+
+
+class TraceCache:
+    """Re-use generated traces across the configurations of one experiment
+    (the comparison is only fair on identical dynamic instruction streams)."""
+
+    def __init__(self, length: Optional[int] = None, seed: int = DEFAULT_SEED) -> None:
+        self.length = length if length is not None else scaled_length()
+        self.seed = seed
+        self._traces: Dict[str, Trace] = {}
+
+    def get(self, profile: Profile) -> Trace:
+        key = profile.name
+        if key not in self._traces:
+            self._traces[key] = generate_trace(profile, self.length, self.seed)
+        return self._traces[key]

@@ -1,0 +1,102 @@
+"""Reconfiguration timelines: what a controller did, when.
+
+Wraps any controller and records every active-cluster change with its cycle
+and committed-instruction position, then renders an ASCII strip chart.
+Useful for eyeballing controller behaviour (exploration sweeps, phase
+tracking, fine-grained thrash) without a waveform viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..workloads.instruction import Instr
+
+#: glyph per active-cluster count (log scale: 1..16)
+_GLYPHS = {1: ".", 2: ":", 4: "|", 8: "#", 16: "@"}
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    cycle: int
+    committed: int
+    clusters: int
+
+
+class TimelineRecorder:
+    """Controller decorator that records reconfiguration events.
+
+    Forwards every hook to the wrapped controller while snooping
+    ``set_active_clusters`` calls through a proxy processor handle.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.events: List[Reconfiguration] = []
+        self._processor = None
+
+    # -- controller interface -------------------------------------------
+    @property
+    def needs_dispatch_events(self) -> bool:
+        return getattr(self.inner, "needs_dispatch_events", False)
+
+    def attach(self, processor) -> None:
+        self._processor = processor
+        recorder = self
+
+        class _Proxy:
+            """Pass-through to the processor that logs reconfigurations."""
+
+            def __getattr__(self, name):
+                return getattr(processor, name)
+
+            def set_active_clusters(self, n, reason=""):
+                before = processor.active_clusters
+                processor.set_active_clusters(n, reason)
+                if processor.active_clusters != before:
+                    recorder.events.append(
+                        Reconfiguration(
+                            cycle=processor.cycle,
+                            committed=processor.stats.committed,
+                            clusters=processor.active_clusters,
+                        )
+                    )
+
+        self.inner.attach(_Proxy())
+
+    def on_commit(self, instr: Instr, cycle: int, distant: bool) -> None:
+        self.inner.on_commit(instr, cycle, distant)
+
+    def on_dispatch(self, instr: Instr, cycle: int) -> None:
+        self.inner.on_dispatch(instr, cycle)
+
+    # -- rendering -------------------------------------------------------
+    def render(self, total_committed: int, width: int = 64) -> str:
+        """ASCII strip: one glyph per bucket of committed instructions.
+
+        Legend: ``.`` 1, ``:`` 2, ``|`` 4, ``#`` 8, ``@`` 16 active clusters
+        (nearest glyph for other counts).
+        """
+        if total_committed <= 0 or width <= 0:
+            return ""
+        per_bucket = max(1, total_committed // width)
+        strip = []
+        events = sorted(self.events, key=lambda e: e.committed)
+        current = (
+            self._processor.config.num_clusters if self._processor else 16
+        )
+        idx = 0
+        for bucket in range(width):
+            boundary = bucket * per_bucket
+            while idx < len(events) and events[idx].committed <= boundary:
+                current = events[idx].clusters
+                idx += 1
+            strip.append(_glyph(current))
+        legend = "  (. 1  : 2  | 4  # 8  @ 16 clusters)"
+        return "".join(strip) + legend
+
+
+def _glyph(clusters: int) -> str:
+    best = min(_GLYPHS, key=lambda k: abs(k - clusters))
+    return _GLYPHS[best]

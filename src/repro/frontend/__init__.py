@@ -1,0 +1,17 @@
+"""Front end: branch prediction, BTB, return-address stack, fetch."""
+
+from .bimodal import BimodalPredictor
+from .btb import BranchTargetBuffer
+from .combining import CombiningPredictor
+from .fetch import FetchUnit
+from .ras import ReturnAddressStack
+from .twolevel import TwoLevelPredictor
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CombiningPredictor",
+    "FetchUnit",
+    "ReturnAddressStack",
+    "TwoLevelPredictor",
+]

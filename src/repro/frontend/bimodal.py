@@ -1,0 +1,34 @@
+"""Bimodal (2-bit saturating counter) branch direction predictor."""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by branch PC.
+
+    Table 1 of the paper uses a 2048-entry bimodal component inside the
+    combining predictor.
+    """
+
+    def __init__(self, size: int = 2048) -> None:
+        if size < 1 or size & (size - 1):
+            raise ValueError("bimodal size must be a positive power of two")
+        self.size = size
+        # initialize to weakly taken (2), the common convention
+        self._counters = [2] * size
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+        else:
+            if c > 0:
+                self._counters[i] = c - 1

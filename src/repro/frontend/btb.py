@@ -1,0 +1,48 @@
+"""Branch target buffer: set-associative PC -> target cache (Table 1:
+2048 sets, 2-way) with LRU replacement."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with true-LRU replacement within a set."""
+
+    def __init__(self, sets: int = 2048, assoc: int = 2) -> None:
+        if sets < 1 or sets & (sets - 1):
+            raise ValueError("sets must be a positive power of two")
+        if assoc < 1:
+            raise ValueError("assoc must be positive")
+        self.sets = sets
+        self.assoc = assoc
+        # each set: list of (tag, target), most-recently-used last
+        self._table: List[List[Tuple[int, int]]] = [[] for _ in range(sets)]
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.sets - 1)
+
+    def _tag(self, pc: int) -> int:
+        return pc >> 2
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """The predicted target for ``pc``, or None on a BTB miss."""
+        entry_set = self._table[self._set_index(pc)]
+        tag = self._tag(pc)
+        for i, (t, target) in enumerate(entry_set):
+            if t == tag:
+                # move to MRU position
+                entry_set.append(entry_set.pop(i))
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        entry_set = self._table[self._set_index(pc)]
+        tag = self._tag(pc)
+        for i, (t, _) in enumerate(entry_set):
+            if t == tag:
+                entry_set.pop(i)
+                break
+        entry_set.append((tag, target))
+        if len(entry_set) > self.assoc:
+            entry_set.pop(0)  # evict LRU

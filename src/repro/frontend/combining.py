@@ -1,0 +1,68 @@
+"""Combining (tournament) branch predictor: bimodal + two-level + chooser.
+
+This is the Table 1 configuration: a 2048-entry bimodal predictor, a
+1024-entry/10-bit-history two-level predictor with a 4096-entry PHT, and a
+chooser table of 2-bit counters that learns, per branch, which component to
+trust — the 21264-style arrangement.
+"""
+
+from __future__ import annotations
+
+from ..config import FrontEndConfig
+from .bimodal import BimodalPredictor
+from .twolevel import TwoLevelPredictor
+
+
+class CombiningPredictor:
+    """Tournament predictor over a bimodal and a two-level component."""
+
+    def __init__(
+        self,
+        bimodal_size: int = 2048,
+        l1_size: int = 1024,
+        history_bits: int = 10,
+        l2_size: int = 4096,
+        chooser_size: int = 4096,
+    ) -> None:
+        if chooser_size < 1 or chooser_size & (chooser_size - 1):
+            raise ValueError("chooser_size must be a positive power of two")
+        self.bimodal = BimodalPredictor(bimodal_size)
+        self.twolevel = TwoLevelPredictor(l1_size, history_bits, l2_size)
+        self.chooser_size = chooser_size
+        # 2-bit chooser: >= 2 means "trust the two-level component"
+        self._chooser = [2] * chooser_size
+
+    @classmethod
+    def from_config(cls, config: FrontEndConfig) -> "CombiningPredictor":
+        return cls(
+            bimodal_size=config.bimodal_size,
+            l1_size=config.level1_size,
+            history_bits=config.history_bits,
+            l2_size=config.level2_size,
+            chooser_size=config.chooser_size,
+        )
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.chooser_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[self._chooser_index(pc)] >= 2:
+            return self.twolevel.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Update both components and train the chooser toward whichever
+        component was correct (no change when they agree)."""
+        p_bim = self.bimodal.predict(pc)
+        p_two = self.twolevel.predict(pc)
+        if p_bim != p_two:
+            i = self._chooser_index(pc)
+            c = self._chooser[i]
+            if p_two == taken:
+                if c < 3:
+                    self._chooser[i] = c + 1
+            else:
+                if c > 0:
+                    self._chooser[i] = c - 1
+        self.bimodal.update(pc, taken)
+        self.twolevel.update(pc, taken)

@@ -1,0 +1,32 @@
+"""Return address stack for predicting subroutine returns."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A bounded stack of return addresses.
+
+    Pushing past capacity drops the oldest entry (the usual circular
+    implementation); popping an empty stack returns None (a misprediction).
+    """
+
+    def __init__(self, size: int = 32) -> None:
+        if size < 1:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.size:
+            del self._stack[0]
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,54 @@
+"""Two-level adaptive branch predictor (per-address history, global PHT).
+
+Table 1: level 1 has 1024 entries of 10-bit history; level 2 has 4096
+two-bit counters.
+"""
+
+from __future__ import annotations
+
+
+class TwoLevelPredictor:
+    """PAg-style two-level predictor.
+
+    The first level is a table of per-branch history registers; the second
+    level is a shared pattern history table of 2-bit counters indexed by the
+    history (xor-folded with the PC to reduce interference).
+    """
+
+    def __init__(
+        self, l1_size: int = 1024, history_bits: int = 10, l2_size: int = 4096
+    ) -> None:
+        for value, name in ((l1_size, "l1_size"), (l2_size, "l2_size")):
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if history_bits < 1:
+            raise ValueError("history_bits must be positive")
+        self.l1_size = l1_size
+        self.history_bits = history_bits
+        self.l2_size = l2_size
+        self._history = [0] * l1_size
+        self._pht = [2] * l2_size
+
+    def _l1_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.l1_size - 1)
+
+    def _l2_index(self, pc: int, history: int) -> int:
+        return (history ^ (pc >> 2)) & (self.l2_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        history = self._history[self._l1_index(pc)]
+        return self._pht[self._l2_index(pc, history)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i1 = self._l1_index(pc)
+        history = self._history[i1]
+        i2 = self._l2_index(pc, history)
+        c = self._pht[i2]
+        if taken:
+            if c < 3:
+                self._pht[i2] = c + 1
+        else:
+            if c > 0:
+                self._pht[i2] = c - 1
+        mask = (1 << self.history_bits) - 1
+        self._history[i1] = ((history << 1) | int(taken)) & mask

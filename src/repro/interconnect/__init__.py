@@ -1,0 +1,8 @@
+"""Inter-cluster interconnect: topologies and the contention-aware network."""
+
+from .grid import GridTopology
+from .network import Network, build_topology
+from .ring import RingTopology
+from .topology import Topology
+
+__all__ = ["GridTopology", "Network", "RingTopology", "Topology", "build_topology"]

@@ -1,0 +1,75 @@
+"""2-D grid interconnect with XY (dimension-ordered) routing (Section 6)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from .topology import Topology
+
+
+class GridTopology(Topology):
+    """Clusters laid out in a 2-D array; each connects to up to four
+    neighbours.  A 4x4 grid has 24 undirected edges = 48 directed links and
+    a maximum distance of 6 hops, matching the paper.
+
+    Messages route X first, then Y (deadlock-free dimension-ordered
+    routing).
+    """
+
+    def __init__(self, num_nodes: int, cols: int = 0) -> None:
+        super().__init__(num_nodes)
+        if cols <= 0:
+            cols = int(round(math.sqrt(num_nodes)))
+            cols = max(1, cols)
+            while num_nodes % cols != 0:
+                cols -= 1
+        if num_nodes % cols != 0:
+            raise ValueError(f"{num_nodes} nodes do not fill a grid of {cols} columns")
+        self.cols = cols
+        self.rows = num_nodes // cols
+        self._link_ids: Dict[Tuple[int, int], int] = {}
+        for node in range(num_nodes):
+            r, c = divmod(node, cols)
+            for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                    neighbour = nr * cols + nc
+                    self._link_ids[(node, neighbour)] = len(self._link_ids)
+        self._route_cache: List[List[Sequence[int]]] = [
+            [self._compute_route(s, d) for d in range(num_nodes)]
+            for s in range(num_nodes)
+        ]
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_ids)
+
+    def _compute_route(self, src: int, dst: int) -> Sequence[int]:
+        links: List[int] = []
+        r, c = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        node = src
+        while c != dc:
+            step = 1 if dc > c else -1
+            nxt = node + step
+            links.append(self._link_ids[(node, nxt)])
+            node = nxt
+            c += step
+        while r != dr:
+            step = 1 if dr > r else -1
+            nxt = node + step * self.cols
+            links.append(self._link_ids[(node, nxt)])
+            node = nxt
+            r += step
+        return tuple(links)
+
+    def route(self, src: int, dst: int) -> Sequence[int]:
+        self._check(src, dst)
+        return self._route_cache[src][dst]
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        r, c = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        return abs(r - dr) + abs(c - dc)

@@ -1,0 +1,58 @@
+"""Dual unidirectional ring interconnect (the paper's primary topology)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .topology import Topology
+
+
+class RingTopology(Topology):
+    """Two unidirectional rings.
+
+    Clockwise link ``i`` connects node ``i`` to ``(i+1) % N`` and has id
+    ``i``; counter-clockwise link ``i`` connects node ``i`` to ``(i-1) % N``
+    and has id ``N + i``.  A 16-node ring therefore has 32 directed links and
+    a maximum distance of 8 hops, exactly as in Section 2.3.
+
+    Routing takes the direction with fewer hops (ties go clockwise).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self._route_cache: List[List[Sequence[int]]] = [
+            [self._compute_route(s, d) for d in range(num_nodes)]
+            for s in range(num_nodes)
+        ]
+
+    @property
+    def num_links(self) -> int:
+        return 2 * self.num_nodes
+
+    def _compute_route(self, src: int, dst: int) -> Sequence[int]:
+        n = self.num_nodes
+        cw = (dst - src) % n
+        ccw = (src - dst) % n
+        links: List[int] = []
+        if cw <= ccw:
+            node = src
+            for _ in range(cw):
+                links.append(node)  # clockwise link id == source node
+                node = (node + 1) % n
+        else:
+            node = src
+            for _ in range(ccw):
+                links.append(n + node)  # ccw link id == N + source node
+                node = (node - 1) % n
+        return tuple(links)
+
+    def route(self, src: int, dst: int) -> Sequence[int]:
+        self._check(src, dst)
+        return self._route_cache[src][dst]
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        n = self.num_nodes
+        cw = (dst - src) % n
+        ccw = (src - dst) % n
+        return min(cw, ccw)

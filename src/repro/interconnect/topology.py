@@ -1,0 +1,46 @@
+"""Interconnect topologies.
+
+A topology enumerates *directed* links between clusters and provides the
+routed link sequence for any (src, dst) pair.  Section 2.3 of the paper
+considers two options:
+
+* a **ring** built from two unidirectional rings (16 clusters -> 32 links,
+  worst case 8 hops);
+* a 2-D **grid** with XY routing (16 clusters -> 48 links, worst case 6
+  hops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+class Topology:
+    """Base class: a set of directed links plus a static routing function."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+
+    @property
+    def num_links(self) -> int:
+        raise NotImplementedError
+
+    def route(self, src: int, dst: int) -> Sequence[int]:
+        """The directed link ids traversed from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    def max_hops(self) -> int:
+        return max(
+            self.hops(s, d)
+            for s in range(self.num_nodes)
+            for d in range(self.num_nodes)
+        )
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(f"node out of range: {src} -> {dst}")

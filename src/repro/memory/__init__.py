@@ -1,0 +1,26 @@
+"""Memory hierarchy: caches, LSQs, bank prediction, and the system facades."""
+
+from .bank_predictor import TwoLevelBankPredictor
+from .cache import AccessResult, BankScheduler, SetAssocCache
+from .distributed_lsq import DistributedLSQ
+from .hierarchy import (
+    CentralizedMemory,
+    DecentralizedMemory,
+    MemorySystem,
+    build_memory,
+)
+from .lsq import CentralizedLSQ, MemAccess
+
+__all__ = [
+    "AccessResult",
+    "BankScheduler",
+    "CentralizedLSQ",
+    "CentralizedMemory",
+    "DecentralizedMemory",
+    "DistributedLSQ",
+    "MemAccess",
+    "MemorySystem",
+    "SetAssocCache",
+    "TwoLevelBankPredictor",
+    "build_memory",
+]

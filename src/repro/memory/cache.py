@@ -1,0 +1,98 @@
+"""Set-associative cache tag store with LRU replacement and dirty bits.
+
+Functional only — timing (bank ports, L2/memory latency) is composed on top
+by :mod:`repro.memory.hierarchy`.  Word interleaving for bank *port*
+scheduling is handled by :class:`BankScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import CacheConfig
+from ..timing import SlotReserver
+
+
+class AccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "writeback")
+
+    def __init__(self, hit: bool, writeback: bool) -> None:
+        self.hit = hit
+        self.writeback = writeback
+
+
+class SetAssocCache:
+    """LRU set-associative cache with write-back, write-allocate policy."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        if self.num_sets < 1:
+            raise ValueError(f"{name}: config yields zero sets")
+        # each set: list of [tag, dirty], most-recently-used last
+        self._sets: List[List[List[int]]] = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.config.line_size
+        return line % self.num_sets, line
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Probe and update the cache; allocate on miss."""
+        set_idx, tag = self._locate(addr)
+        cache_set = self._sets[set_idx]
+        for i, entry in enumerate(cache_set):
+            if entry[0] == tag:
+                cache_set.append(cache_set.pop(i))
+                if is_write:
+                    cache_set[-1][1] = 1
+                return AccessResult(hit=True, writeback=False)
+        # miss: allocate, possibly evicting a dirty line
+        writeback = False
+        if len(cache_set) >= self.config.assoc:
+            victim = cache_set.pop(0)
+            writeback = bool(victim[1])
+        cache_set.append([tag, 1 if is_write else 0])
+        return AccessResult(hit=False, writeback=writeback)
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive hit check (no LRU update, no allocation)."""
+        set_idx, tag = self._locate(addr)
+        return any(entry[0] == tag for entry in self._sets[set_idx])
+
+    def flush(self) -> int:
+        """Invalidate everything; return the number of dirty lines that must
+        be written back (Section 5 reconfiguration cost)."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(entry[1] for entry in cache_set)
+            cache_set.clear()
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class BankScheduler:
+    """Per-bank port reservation (one access per port per cycle).
+
+    The word-interleaved cache of Section 2.1 has one port per bank; an
+    access that finds its bank busy queues behind earlier accesses.
+    """
+
+    def __init__(self, banks: int, ports_per_bank: int = 1) -> None:
+        if banks < 1 or ports_per_bank < 1:
+            raise ValueError("banks and ports_per_bank must be positive")
+        self.banks = banks
+        self.ports_per_bank = ports_per_bank
+        self._slots = SlotReserver(banks, ports_per_bank)
+
+    def reserve(self, bank: int, earliest: int) -> int:
+        """The cycle at which the access actually starts."""
+        return self._slots.reserve(bank, earliest)
+
+    def reset(self) -> None:
+        self._slots.reset()

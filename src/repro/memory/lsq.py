@@ -1,0 +1,130 @@
+"""Centralized load-store queue (Section 2.1).
+
+All loads and stores allocate an entry at dispatch.  A load may probe the
+cache only when every earlier store still in the queue has a known address
+("loads are issued when they are known to not conflict with earlier
+stores"); if an earlier in-flight store to the same word exists, the load is
+satisfied by forwarding instead of a cache access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SimulationError
+
+
+class MemAccess:
+    """One in-flight memory instruction's LSQ state."""
+
+    __slots__ = ("index", "cluster", "addr", "is_store", "addr_arrival", "arrivals")
+
+    def __init__(self, index: int, cluster: int, addr: int, is_store: bool) -> None:
+        self.index = index
+        self.cluster = cluster
+        self.addr = addr
+        self.is_store = is_store
+        #: cycle the address becomes known at the (centralized) LSQ
+        self.addr_arrival: Optional[int] = None
+        #: decentralized: per-cluster broadcast arrival cycles
+        self.arrivals: Optional[Dict[int, int]] = None
+
+    @property
+    def word(self) -> int:
+        return self.addr >> 2
+
+
+class CentralizedLSQ:
+    """The single LSQ co-located with the home cluster (capacity 15N).
+
+    Two disambiguation policies:
+
+    * ``conservative=False`` (default, SimpleScalar-like): a load waits only
+      for earlier in-flight stores to the *same word*; once those have
+      computed their addresses the load probes (or forwards).
+    * ``conservative=True``: a load waits until *every* earlier store in the
+      queue has a known address.
+    """
+
+    def __init__(self, capacity: int, conservative: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.conservative = conservative
+        self._entries: Dict[int, MemAccess] = {}
+        self._unresolved_stores: Set[int] = set()
+        self._pending_loads: Dict[int, MemAccess] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, access: MemAccess) -> None:
+        if self.full:
+            raise SimulationError("LSQ allocate on a full queue")
+        self._entries[access.index] = access
+        if access.is_store:
+            self._unresolved_stores.add(access.index)
+
+    def load_address_ready(self, index: int, arrival: int) -> None:
+        access = self._entries[index]
+        access.addr_arrival = arrival
+        self._pending_loads[index] = access
+
+    def store_address_ready(self, index: int, arrival: int) -> None:
+        access = self._entries[index]
+        access.addr_arrival = arrival
+        self._unresolved_stores.discard(index)
+
+    def _blocked(self, load: MemAccess) -> bool:
+        if not self._unresolved_stores:
+            return False
+        if self.conservative:
+            return min(self._unresolved_stores) < load.index
+        word = load.word
+        entries = self._entries
+        for index in self._unresolved_stores:
+            if index < load.index and entries[index].word == word:
+                return True
+        return False
+
+    def schedulable_loads(self) -> List[MemAccess]:
+        """Pop and return loads no longer blocked by unresolved stores."""
+        if not self._pending_loads:
+            return []
+        ready: List[MemAccess] = []
+        for index in sorted(self._pending_loads):
+            if not self._blocked(self._pending_loads[index]):
+                ready.append(self._pending_loads.pop(index))
+        return ready
+
+    def probe_constraints(self, load: MemAccess) -> Tuple[int, bool]:
+        """For a schedulable load: (latest relevant earlier-store address
+        arrival, whether an earlier in-flight store to the same word can
+        forward).  Under the conservative policy every earlier store is
+        relevant; otherwise only same-word stores are."""
+        latest = 0
+        forward = False
+        for index, entry in self._entries.items():
+            if not entry.is_store or index >= load.index:
+                continue
+            same_word = entry.word == load.word
+            if entry.addr_arrival is None:
+                if self.conservative or same_word:
+                    raise SimulationError("probe_constraints on a blocked load")
+                continue
+            if (self.conservative or same_word) and entry.addr_arrival > latest:
+                latest = entry.addr_arrival
+            if same_word:
+                forward = True
+        return latest, forward
+
+    def release(self, index: int) -> MemAccess:
+        """Remove an entry at commit."""
+        access = self._entries.pop(index)
+        self._unresolved_stores.discard(index)
+        self._pending_loads.pop(index, None)
+        return access

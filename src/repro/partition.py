@@ -1,0 +1,143 @@
+"""Cluster partitioning between threads (Sections 1 and 8).
+
+The paper motivates dynamic cluster allocation beyond single-thread IPC:
+"these clusters can be used by (partitioned among) other threads, thereby
+simultaneously achieving the goals of optimal single and multi-threaded
+throughput" and "the throughput of a multi-threaded workload can also be
+improved by avoiding cross-thread interference by dynamically dedicating a
+set of clusters to each thread".
+
+This module provides the analysis layer for that claim: measure each
+program's IPC as a function of its cluster allocation (its *scaling curve*),
+then choose the partition of the machine between co-scheduled threads that
+maximizes combined throughput (weighted IPC here; other objectives plug in).
+Because partitioned threads share nothing but the machine boundary in the
+paper's scheme, combined throughput is the sum of the per-thread curves —
+which makes the optimal split exactly computable from single-thread runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .config import ProcessorConfig, default_config
+from .core.controller import StaticController
+from .experiments.runner import run_trace
+from .workloads.instruction import Trace
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """IPC of one program at each candidate cluster allocation."""
+
+    name: str
+    ipc: Dict[int, float]  # clusters -> IPC
+
+    def at(self, clusters: int) -> float:
+        """IPC at an allocation, interpolating to the largest measured
+        point not exceeding it (allocations between samples run the
+        largest configuration that fits)."""
+        usable = [n for n in self.ipc if n <= clusters]
+        if not usable:
+            return 0.0
+        return self.ipc[max(usable)]
+
+    @property
+    def best_allocation(self) -> int:
+        return max(self.ipc, key=lambda n: self.ipc[n])
+
+    @property
+    def saturation_allocation(self) -> int:
+        """Smallest allocation within 2% of the program's peak IPC — the
+        point past which extra clusters are wasted on this thread."""
+        peak = max(self.ipc.values())
+        for n in sorted(self.ipc):
+            if self.ipc[n] >= 0.98 * peak:
+                return n
+        return self.best_allocation
+
+
+def measure_scaling(
+    trace: Trace,
+    config: Optional[ProcessorConfig] = None,
+    allocations: Sequence[int] = (2, 4, 8, 16),
+    warmup: int = 4_000,
+) -> ScalingCurve:
+    """Run the static sweep that defines a program's scaling curve."""
+    config = config or default_config(16)
+    ipc = {
+        n: run_trace(trace, config, StaticController(n), warmup=warmup).ipc
+        for n in allocations
+        if n <= config.num_clusters
+    }
+    return ScalingCurve(trace.name, ipc)
+
+
+def best_partition(
+    curves: Sequence[ScalingCurve],
+    total_clusters: int = 16,
+    granularity: int = 2,
+    objective: Callable[[Sequence[float]], float] = sum,
+) -> Tuple[Tuple[int, ...], float]:
+    """The allocation split maximizing the objective over per-thread IPCs.
+
+    Exhaustive search over multiples of ``granularity`` (the machine is
+    reconfigured in cluster units; the paper's candidate configurations are
+    powers of two, but a partition only needs each share to be a valid
+    allocation).  Every thread receives at least ``granularity`` clusters.
+    """
+    if not curves:
+        raise ValueError("need at least one scaling curve")
+    shares = [granularity * i for i in range(1, total_clusters // granularity + 1)]
+
+    best_split: Optional[Tuple[int, ...]] = None
+    best_value = float("-inf")
+
+    def recurse(index: int, remaining: int, chosen: List[int]) -> None:
+        nonlocal best_split, best_value
+        if index == len(curves) - 1:
+            if remaining < granularity:
+                return
+            split = chosen + [remaining]
+            value = objective(
+                [c.at(n) for c, n in zip(curves, split)]
+            )
+            if value > best_value:
+                best_value = value
+                best_split = tuple(split)
+            return
+        for share in shares:
+            if remaining - share < granularity * (len(curves) - index - 1):
+                break
+            recurse(index + 1, remaining - share, chosen + [share])
+
+    recurse(0, total_clusters, [])
+    if best_split is None:
+        raise ValueError(
+            f"cannot split {total_clusters} clusters {len(curves)} ways "
+            f"at granularity {granularity}"
+        )
+    return best_split, best_value
+
+
+def partition_report(
+    curves: Sequence[ScalingCurve], total_clusters: int = 16
+) -> str:
+    """Human-readable summary: each thread's saturation point, the optimal
+    split, and the throughput against naive even sharing."""
+    split, value = best_partition(curves, total_clusters)
+    even = total_clusters // len(curves)
+    even_value = sum(c.at(even) for c in curves)
+    lines = [f"partitioning {total_clusters} clusters among "
+             f"{len(curves)} threads:"]
+    for curve, share in zip(curves, split):
+        lines.append(
+            f"  {curve.name:10s} gets {share:2d} clusters "
+            f"(saturates at {curve.saturation_allocation}, "
+            f"IPC {curve.at(share):.2f})"
+        )
+    lines.append(f"  combined IPC {value:.2f} vs even split {even_value:.2f} "
+                 f"({100 * (value / even_value - 1):+.1f}%)" if even_value else
+                 f"  combined IPC {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""The out-of-order pipeline: ROB, clustered processor, monolithic baseline."""
+
+from .monolithic import simulate_monolithic
+from .processor import ClusteredProcessor, simulate
+from .rob import InFlight, ReorderBuffer
+
+__all__ = [
+    "ClusteredProcessor",
+    "InFlight",
+    "ReorderBuffer",
+    "simulate",
+    "simulate_monolithic",
+]

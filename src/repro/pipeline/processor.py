@@ -1,0 +1,397 @@
+"""The cycle-level clustered out-of-order processor.
+
+Stage order within a simulated cycle (oldest work first, so resources freed
+in one stage become visible the next cycle):
+
+1. memory housekeeping + load-completion drain,
+2. commit (in order, up to 16/cycle),
+3. issue/select per cluster (oldest-ready-first, bounded by FUs),
+4. dispatch/steer (in order, up to 16/cycle),
+5. fetch,
+6. the reconfiguration controller's commit-driven hooks run inline with
+   commit; interval controllers fire on committed-instruction boundaries.
+
+All latencies are absolute cycle numbers computed at scheduling time, so
+there is no per-cycle polling of the memory system or the interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..clusters.cluster import Cluster
+from ..clusters.criticality import CriticalityPredictor
+from ..clusters.functional_units import EXEC_LATENCY
+from ..clusters.steering import ProducerSteering, SteeringHeuristic
+from ..config import ProcessorConfig
+from ..errors import SimulationError
+from ..frontend.fetch import FetchUnit
+from ..interconnect.network import Network
+from ..memory.hierarchy import build_memory
+from ..stats import SimStats
+from ..workloads.instruction import Instr, OpClass, Trace
+from .rob import InFlight, ReorderBuffer
+
+#: safety multiplier: a run may not take more than this many cycles per
+#: instruction before we declare the pipeline wedged
+_MAX_CPI = 400
+
+
+class ClusteredProcessor:
+    """A dynamically reconfigurable clustered processor bound to one trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ProcessorConfig,
+        controller: Optional[object] = None,
+        steering: Optional[SteeringHeuristic] = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.stats = SimStats()
+        self.network = Network(config.interconnect, config.num_clusters, self.stats)
+        self.memory = build_memory(config, self.network, self.stats)
+        self.fetch_unit = FetchUnit(trace, config.front_end, self.stats)
+        self.clusters = [Cluster(k, config.cluster) for k in range(config.num_clusters)]
+        self.criticality = CriticalityPredictor()
+        self.steering = steering or ProducerSteering(self.clusters, self.criticality)
+        self.rob = ReorderBuffer(config.rob_size)
+
+        self.cycle = 0
+        self.active_clusters = config.num_clusters
+        self._records: Dict[int, InFlight] = {}
+        #: (cluster, finish_cycle) of committed producers, for late consumers
+        self._done: Dict[int, Tuple[int, int]] = {}
+        self._dispatch_stalled_until = 0
+        self._home = config.home_cluster
+        self._hop = config.interconnect.hop_latency
+
+        #: instructions must be this many entries younger than the ROB head
+        #: to count as "distant" (the paper uses 120 = 4 clusters x 30 regs)
+        self.distant_threshold = 4 * config.cluster.regfile_size
+
+        self.controller = controller
+        self._controller_wants_dispatch = bool(
+            getattr(controller, "needs_dispatch_events", False)
+        )
+        if controller is not None:
+            controller.attach(self)
+
+    # ------------------------------------------------------------------
+    # reconfiguration interface (used by controllers)
+
+    def stall_dispatch_for(self, cycles: int) -> None:
+        """Pause dispatch for ``cycles`` (models the run-time algorithm's
+        software invocation, ~100 instructions in the paper)."""
+        if cycles > 0:
+            self._dispatch_stalled_until = max(
+                self._dispatch_stalled_until, self.cycle + cycles
+            )
+
+    def set_active_clusters(self, n: int, reason: str = "") -> None:
+        """Restrict dispatch to clusters 0..n-1 (instructions already in
+        the others drain naturally).  With a decentralized cache this
+        flushes the L1 and stalls dispatch for the flush duration."""
+        n = max(1, min(n, self.config.num_clusters))
+        if n == self.active_clusters:
+            return
+        self.active_clusters = n
+        self.stats.reconfigurations += 1
+        stall = self.memory.set_active_clusters(n, self.cycle)
+        if stall:
+            self._dispatch_stalled_until = max(
+                self._dispatch_stalled_until, self.cycle + stall
+            )
+
+    # ------------------------------------------------------------------
+    # operand plumbing
+
+    def _operand_available(self, producer: InFlight, consumer_cluster: int) -> int:
+        """When the producer's finished result is usable in a cluster."""
+        finish = producer.finish_cycle
+        assert finish is not None
+        if producer.cluster == consumer_cluster:
+            return finish
+        cached = producer.remote_ready.get(consumer_cluster)
+        if cached is not None:
+            return cached
+        arrival = self.network.transfer(
+            producer.cluster, consumer_cluster, finish, kind="register"
+        )
+        producer.remote_ready[consumer_cluster] = arrival
+        return arrival
+
+    def _resolve_operand(self, rec: InFlight, pos: int, src: int) -> None:
+        """Fill in op_avail[pos] for a dispatching instruction."""
+        store_data = pos == 1 and rec.store_split
+        if src < 0:
+            rec.op_avail[pos] = 0
+            return
+        producer = self._records.get(src)
+        if producer is not None:
+            if producer.finish_cycle is not None:
+                rec.op_avail[pos] = self._operand_available(producer, rec.cluster)
+            else:
+                rec.op_avail[pos] = None
+                if not store_data:
+                    rec.unknown_ops += 1
+                producer.waiters.append((rec, pos))
+            return
+        done = self._done.get(src)
+        if done is None:
+            rec.op_avail[pos] = 0  # ancient producer: value long available
+            return
+        p_cluster, p_finish = done
+        if p_cluster == rec.cluster:
+            rec.op_avail[pos] = p_finish
+        else:
+            rec.op_avail[pos] = self.network.transfer(
+                p_cluster, rec.cluster, max(p_finish, rec.dispatch_cycle), kind="register"
+            )
+
+    def _producer_finished(self, producer: InFlight) -> None:
+        """Propagate a newly known finish time to all waiting consumers."""
+        for consumer, pos in producer.waiters:
+            avail = self._operand_available(producer, consumer.cluster)
+            consumer.operand_known(pos, avail)
+        producer.waiters.clear()
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+
+    def _drain_memory(self) -> None:
+        self.memory.tick(self.cycle)
+        for index, ready in self.memory.drain_completions():
+            rec = self._records.get(index)
+            if rec is None:
+                raise SimulationError(f"completion for unknown load {index}")
+            rec.finish_cycle = ready
+            self._producer_finished(rec)
+
+    def _commit(self) -> None:
+        width = self.config.front_end.commit_width
+        committed = 0
+        controller = self.controller
+        while committed < width and not self.rob.empty:
+            rec = self.rob.head
+            if rec.finish_cycle is None or rec.finish_cycle > self.cycle:
+                break
+            self.rob.pop_head()
+            committed += 1
+            instr = rec.instr
+            self.stats.committed += 1
+            if instr.is_branch:
+                self.stats.branches += 1
+            elif instr.is_mem:
+                self.stats.memrefs += 1
+                self.stats.loads += instr.is_load
+                self.stats.stores += instr.is_store
+                self.memory.commit(instr, self.cycle)
+            if rec.distant:
+                self.stats.distant_commits += 1
+            self.clusters[rec.cluster].on_commit(instr.op, instr.has_dest)
+            self._done[instr.index] = (rec.cluster, rec.finish_cycle)
+            del self._records[instr.index]
+            if controller is not None:
+                controller.on_commit(instr, self.cycle, rec.distant)
+
+    def _issue(self) -> None:
+        cycle = self.cycle
+        head_index = self.rob.head_index
+        threshold = self.distant_threshold
+        for cluster in self.clusters:
+            queue = cluster.issue_queue
+            if not queue:
+                continue
+            cluster.fus.begin_cycle()
+            issued_any = False
+            for i, rec in enumerate(queue):
+                if rec is None:
+                    continue
+                if rec.squashed:
+                    # wrong-path leftovers: free the issue-queue slot
+                    queue[i] = None
+                    issued_any = True
+                    cluster.on_issue(rec, rec.instr.op)
+                    continue
+                if (
+                    rec.unknown_ops == 0
+                    and rec.ready_time <= cycle
+                    and rec.earliest_issue <= cycle
+                    and cluster.fus.try_issue(rec.instr.op)
+                ):
+                    queue[i] = None
+                    issued_any = True
+                    self._do_issue(rec, cluster, head_index, threshold)
+            if issued_any:
+                cluster.issue_queue = [r for r in queue if r is not None]
+
+    def _do_issue(self, rec: InFlight, cluster: Cluster, head_index: int, threshold: int) -> None:
+        cycle = self.cycle
+        instr = rec.instr
+        rec.issued = True
+        rec.issue_cycle = cycle
+        self.stats.issued += 1
+        cluster.on_issue(rec, instr.op)
+        if instr.index - head_index >= threshold:
+            rec.distant = True
+
+        # train the criticality predictor with the observed last-arriving
+        # operand (both operands must have real producers)
+        if instr.src1 >= 0 and instr.src2 >= 0:
+            a0 = rec.op_avail[0] or 0
+            a1 = rec.op_avail[1] or 0
+            if a0 != a1:
+                self.criticality.update(instr.pc, 1 if a1 > a0 else 0)
+
+        op = instr.op
+        if op is OpClass.LOAD:
+            # address generation this cycle; data arrival set by the memory
+            # system via drain_completions
+            self.memory.address_ready(instr, cycle + EXEC_LATENCY[op])
+            return
+        finish = cycle + EXEC_LATENCY[op]
+        if op is OpClass.STORE:
+            # the store's address is ready now; completion additionally
+            # waits for the data operand (tracked separately)
+            rec.addr_done = finish
+            data = rec.op_avail[1]
+            rec.finish_cycle = None if data is None else max(finish, data)
+            self.memory.address_ready(instr, finish)
+            return
+        rec.finish_cycle = finish
+        if op is OpClass.BRANCH and self.fetch_unit.pending_mispredict == instr.index:
+            redirect = self.network.uncontended_latency(rec.cluster, self._home)
+            self.fetch_unit.branch_resolved(instr.index, finish + redirect)
+            self._squash_wrong_path()
+        self._producer_finished(rec)
+
+    def _squash_wrong_path(self) -> None:
+        """Discard everything younger than a resolved misprediction.
+
+        With ``model_wrong_path`` enabled, the only instructions younger
+        than a mispredicted branch are the synthetic wrong-path ones
+        (negative trace indices), sitting contiguously at the ROB tail.
+        Registers are released immediately; occupied issue-queue slots are
+        swept by the select loop on its next pass.
+        """
+        entries = self.rob._entries
+        while entries and entries[-1].instr.index < 0:
+            rec = entries.pop()
+            rec.squashed = True
+            # release the register now; if the record is still waiting in an
+            # issue queue, the select loop frees that slot at the mark
+            self.clusters[rec.cluster].on_commit(rec.instr.op, rec.instr.has_dest)
+            del self._records[rec.instr.index]
+            self.stats.squashed += 1
+
+    def _dispatch(self) -> None:
+        if self.cycle < self._dispatch_stalled_until:
+            return
+        width = self.config.front_end.dispatch_width
+        dispatched = 0
+        while dispatched < width:
+            instr = self.fetch_unit.peek_ready(self.cycle)
+            if instr is None or self.rob.full:
+                break
+            if instr.is_mem and not self.memory.can_dispatch(instr):
+                break
+            producer_clusters = self._producer_clusters(instr)
+            preferred = self.memory.preferred_cluster(instr) if instr.is_mem else None
+            target = self.steering.choose(
+                instr, producer_clusters, self.active_clusters, preferred
+            )
+            if target is None:
+                break
+            if instr.is_mem and not self._memory_slot_ok(instr, target):
+                break
+            self.fetch_unit.pop()
+            self._allocate(instr, target)
+            dispatched += 1
+            if self._controller_wants_dispatch:
+                self.controller.on_dispatch(instr, self.cycle)
+
+    def _memory_slot_ok(self, instr: Instr, cluster: int) -> bool:
+        """Post-steering LSQ check (the decentralized LSQ is per cluster)."""
+        memory = self.memory
+        lsq = getattr(memory, "lsq", None)
+        if lsq is None:
+            return True
+        if hasattr(lsq, "can_allocate_load") and instr.is_load:
+            return lsq.can_allocate_load(cluster)
+        return memory.can_dispatch(instr)
+
+    def _producer_clusters(self, instr: Instr) -> List[Tuple[int, int]]:
+        producers: List[Tuple[int, int]] = []
+        for pos, src in ((0, instr.src1), (1, instr.src2)):
+            if src < 0:
+                continue
+            rec = self._records.get(src)
+            if rec is not None:
+                producers.append((pos, rec.cluster))
+        return producers
+
+    def _allocate(self, instr: Instr, target: int) -> None:
+        cycle = self.cycle
+        # non-uniform dispatch latency: the front end is co-located with the
+        # home cluster; reaching a distant cluster takes extra hops (on the
+        # dedicated front-end network, hence uncontended)
+        dispatch_hops = self.network.uncontended_latency(self._home, target)
+        rec = InFlight(instr, target, cycle, cycle + 1 + dispatch_hops)
+        self._records[instr.index] = rec
+        self._resolve_operand(rec, 0, instr.src1)
+        self._resolve_operand(rec, 1, instr.src2)
+        if rec.unknown_ops == 0:
+            a0 = rec.op_avail[0] or 0
+            a1 = 0 if rec.store_split else (rec.op_avail[1] or 0)
+            rec.ready_time = a0 if a0 >= a1 else a1
+        self.clusters[target].allocate(rec, instr.op, instr.has_dest)
+        self.rob.push(rec)
+        self.stats.dispatched += 1
+        if instr.is_mem:
+            self.memory.dispatch(instr, target, cycle)
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.stats.cluster_cycle_product += self.active_clusters
+        self._drain_memory()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self.fetch_unit.fetch(self.cycle)
+
+    @property
+    def finished(self) -> bool:
+        return self.fetch_unit.exhausted and self.rob.empty
+
+    def run(self, max_instructions: Optional[int] = None) -> SimStats:
+        """Run until the trace is exhausted or ``max_instructions`` commit."""
+        limit = max_instructions if max_instructions is not None else len(self.trace)
+        limit = min(limit, len(self.trace))
+        max_cycles = max(10_000, limit * _MAX_CPI)
+        while not self.finished and self.stats.committed < limit:
+            self.step()
+            if self.cycle > max_cycles:
+                raise SimulationError(
+                    f"pipeline wedged: {self.stats.committed} committed in "
+                    f"{self.cycle} cycles"
+                )
+        return self.stats
+
+
+def simulate(
+    trace: Trace,
+    config: ProcessorConfig,
+    controller: Optional[object] = None,
+    max_instructions: Optional[int] = None,
+    steering: Optional[SteeringHeuristic] = None,
+) -> SimStats:
+    """Convenience wrapper: build a processor, run it, return statistics."""
+    processor = ClusteredProcessor(trace, config, controller, steering)
+    return processor.run(max_instructions)

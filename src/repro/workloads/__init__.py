@@ -1,0 +1,44 @@
+"""Synthetic workloads: instruction model, trace generator, benchmark profiles."""
+
+from .addresses import (
+    AddressStream,
+    HotColdStream,
+    PointerChaseStream,
+    StridedStream,
+    WorkingSetStream,
+)
+from .blocks import BranchSite, LoopBody, PhaseParams, StaticInstr, build_loop_body
+from .generator import Profile, generate_trace
+from .instruction import Instr, OpClass, Trace
+from .profiles import (
+    BENCHMARK_NAMES,
+    DISTANT_ILP_BENCHMARKS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    all_profiles,
+    get_profile,
+)
+
+__all__ = [
+    "AddressStream",
+    "BranchSite",
+    "BENCHMARK_NAMES",
+    "DISTANT_ILP_BENCHMARKS",
+    "HotColdStream",
+    "Instr",
+    "LoopBody",
+    "OpClass",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PhaseParams",
+    "PointerChaseStream",
+    "Profile",
+    "StaticInstr",
+    "StridedStream",
+    "Trace",
+    "WorkingSetStream",
+    "all_profiles",
+    "build_loop_body",
+    "generate_trace",
+    "get_profile",
+]

@@ -1,0 +1,119 @@
+"""Effective-address stream generators.
+
+Each generator models one static load/store site.  The mix of streams in a
+phase determines L1/L2 hit rates, bank-conflict behaviour, and — in the
+decentralized cache — how predictable the accessed bank is (a strided stream
+visits banks in a repeating pattern the two-level bank predictor can learn;
+a random stream within a large working set cannot be learned).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class AddressStream(Protocol):
+    """One static memory instruction's sequence of effective addresses."""
+
+    def next_address(self) -> int:
+        """The next effective (byte) address this site touches."""
+        ...
+
+
+class StridedStream:
+    """Sequential array walk: ``base, base+stride, base+2*stride, ...``
+
+    Wraps at ``extent`` bytes so the working set is bounded.  This is the
+    dominant pattern of the loop-based FP codes (swim, mgrid, galgel) and of
+    media row processing (cjpeg/djpeg).
+    """
+
+    def __init__(self, base: int, stride: int, extent: int) -> None:
+        if stride == 0:
+            raise ValueError("stride must be nonzero")
+        if extent <= 0:
+            raise ValueError("extent must be positive")
+        self.base = base
+        self.stride = stride
+        self.extent = extent
+        self._offset = 0
+
+    def next_address(self) -> int:
+        addr = self.base + self._offset
+        self._offset = (self._offset + self.stride) % self.extent
+        return addr
+
+
+class WorkingSetStream:
+    """Uniform random touches within a working set of ``size`` bytes.
+
+    Models hash tables and irregular structures (crafty, parser, vpr).  The
+    working-set size relative to the L1 determines the hit rate; the
+    randomness makes bank prediction hard.
+    """
+
+    def __init__(self, base: int, size: int, rng: random.Random, align: int = 4) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.base = base
+        self.size = size
+        self.align = align
+        self._rng = rng
+
+    def next_address(self) -> int:
+        off = self._rng.randrange(0, self.size)
+        return self.base + (off - off % self.align)
+
+
+class PointerChaseStream:
+    """A fixed pseudo-random cyclic permutation walked one node per access.
+
+    Models linked-list/pointer traversal: the *sequence* repeats (so the bank
+    pattern per site is eventually learnable) but has no spatial locality.
+    """
+
+    def __init__(self, base: int, nodes: int, node_size: int, rng: random.Random) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        order = list(range(nodes))
+        rng.shuffle(order)
+        self.base = base
+        self.node_size = node_size
+        self._order = order
+        self._pos = 0
+
+    def next_address(self) -> int:
+        addr = self.base + self._order[self._pos] * self.node_size
+        self._pos = (self._pos + 1) % len(self._order)
+        return addr
+
+
+class HotColdStream:
+    """A small hot region hit with probability ``hot_prob``; a large cold
+    region otherwise.  Models stack-plus-heap behaviour (gzip)."""
+
+    def __init__(
+        self,
+        base: int,
+        hot_size: int,
+        cold_size: int,
+        hot_prob: float,
+        rng: random.Random,
+        align: int = 4,
+    ) -> None:
+        if not (0.0 <= hot_prob <= 1.0):
+            raise ValueError("hot_prob must be in [0, 1]")
+        self.base = base
+        self.hot_size = hot_size
+        self.cold_size = cold_size
+        self.hot_prob = hot_prob
+        self.align = align
+        self._rng = rng
+
+    def next_address(self) -> int:
+        if self._rng.random() < self.hot_prob:
+            off = self._rng.randrange(0, self.hot_size)
+        else:
+            off = self.hot_size + self._rng.randrange(0, self.cold_size)
+        return self.base + (off - off % self.align)

@@ -1,0 +1,321 @@
+"""Synthetic dynamic-trace generation.
+
+``generate_trace(profile, length, seed)`` walks the static loop structure of
+each phase (:mod:`repro.workloads.blocks`) and emits a :class:`Trace`.  The
+profile's phase *schedule* decides when the program switches phases, which is
+what the paper's controllers must detect and react to.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .blocks import LoopBody, PhaseParams, StaticInstr, build_loop_body
+from .instruction import Instr, OpClass, Trace
+
+_RECENT_WINDOW = 16
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A synthetic benchmark: phases plus a phase schedule.
+
+    Schedules:
+        ``steady``    — a single phase for the whole trace.
+        ``alternate`` — cycle through ``phases`` round-robin, each segment
+                        lasting ``segment_length`` instructions (±jitter).
+        ``random``    — switch to a uniformly-chosen different phase after
+                        each segment; geometric segment lengths around
+                        ``segment_length``.
+    """
+
+    name: str
+    phases: Tuple[PhaseParams, ...]
+    schedule: str = "steady"
+    segment_length: int = 8192
+    segment_jitter: float = 0.25
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"profile {self.name!r} has no phases")
+        if self.schedule not in ("steady", "alternate", "random"):
+            raise WorkloadError(f"unknown schedule {self.schedule!r}")
+        if self.segment_length < 1:
+            raise WorkloadError("segment_length must be positive")
+
+
+class _PhaseState:
+    """Per-phase dynamic generation state.
+
+    ``prev_iter``/``cur_iter`` map static slots to their latest dynamic
+    instances (used by the induction chain and pointer-chase sites).
+
+    ``serial_tail`` threads the phase's *serial recurrence*: every compute
+    instruction that draws a cross-iteration dependence chains onto the
+    previous such instruction, and the last one becomes the value the next
+    iteration starts from.  This makes ``cross_iter_dep`` behave like real
+    serial code (one recurrence whose depth grows with the parameter)
+    instead of many independent per-slot recurrences, which would still be
+    perfectly parallel across iterations.
+    """
+
+    __slots__ = ("body", "prev_iter", "cur_iter", "serial_tail")
+
+    def __init__(self, body: LoopBody) -> None:
+        self.body = body
+        self.prev_iter: Dict[int, int] = {}
+        self.cur_iter: Dict[int, int] = {}
+        self.serial_tail = -1
+
+    def end_iteration(self) -> None:
+        self.prev_iter = self.cur_iter
+        self.cur_iter = {}
+
+
+class _TraceBuilder:
+    """Accumulates dynamic instructions and dependence bookkeeping."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.instructions: List[Instr] = []
+        self.recent: List[int] = []  # indices of recent dest-producing instrs
+
+    def _note_producer(self, index: int) -> None:
+        self.recent.append(index)
+        if len(self.recent) > _RECENT_WINDOW:
+            del self.recent[0]
+
+    def pick_recent(self, window: int, chain_prob: float = 0.6) -> int:
+        """A producer for a new operand.
+
+        With probability ``chain_prob`` the immediately preceding producer
+        is chosen (continuing a dependence chain — the common shape in real
+        code, and what lets the steering heuristic keep chains inside one
+        cluster); otherwise a uniformly random recent producer.
+        """
+        if not self.recent:
+            return -1
+        if self.rng.random() < chain_prob:
+            return self.recent[-1]
+        window = min(window, len(self.recent))
+        return self.recent[-1 - self.rng.randrange(window)]
+
+    def emit(self, instr: Instr) -> int:
+        self.instructions.append(instr)
+        if instr.has_dest:
+            self._note_producer(instr.index)
+        return instr.index
+
+    @property
+    def next_index(self) -> int:
+        return len(self.instructions)
+
+
+def _emit_static(
+    builder: _TraceBuilder, state: _PhaseState, sinstr: StaticInstr, induction: bool
+) -> None:
+    """Emit one dynamic instance of a static (non-branch) instruction."""
+    params = state.body.params
+    rng = builder.rng
+    idx = builder.next_index
+
+    src1 = -1
+    src2 = -1
+    if sinstr.op in (OpClass.LOAD, OpClass.STORE):
+        # operand 0 is the address.  Array walks hang off the cheap loop
+        # induction chain; pointer chases serialize on the previous access
+        # of the same site; the rest use a computed pointer.
+        if params.mem_pattern == "chase" and sinstr.slot in state.prev_iter:
+            src1 = state.prev_iter[sinstr.slot]
+        else:
+            induction_producer = state.cur_iter.get(0, -1)
+            if induction_producer >= 0 and rng.random() < 0.9:
+                src1 = induction_producer
+            elif rng.random() < params.within_dep:
+                src1 = builder.pick_recent(params.dep_window, chain_prob=0.2)
+        if sinstr.op is OpClass.STORE:
+            src2 = builder.pick_recent(params.dep_window, params.chain_prob)
+    else:
+        if induction:
+            # the loop counter: a one-add-per-iteration recurrence
+            src1 = state.prev_iter.get(sinstr.slot, -1)
+        elif rng.random() < params.cross_iter_dep:
+            # extend the phase's single serial recurrence
+            if state.serial_tail >= 0:
+                src1 = state.serial_tail
+            state.serial_tail = idx
+        elif rng.random() < params.within_dep:
+            src1 = builder.pick_recent(params.dep_window, params.chain_prob)
+        if rng.random() < params.second_src_prob:
+            src2 = builder.pick_recent(params.dep_window, params.chain_prob)
+
+    addr = 0
+    if sinstr.stream is not None:
+        addr = sinstr.stream.next_address()
+
+    instr = Instr(
+        index=idx,
+        pc=sinstr.pc,
+        op=sinstr.op,
+        src1=src1,
+        src2=src2,
+        addr=addr,
+    )
+    builder.emit(instr)
+    state.cur_iter[sinstr.slot] = idx if instr.has_dest else state.cur_iter.get(
+        sinstr.slot, -1
+    )
+
+
+def _emit_branch(
+    builder: _TraceBuilder,
+    pc: int,
+    taken: bool,
+    target: int,
+    params: PhaseParams,
+    is_call: bool = False,
+    is_return: bool = False,
+) -> None:
+    rng = builder.rng
+    src1 = builder.pick_recent(params.dep_window) if rng.random() < 0.75 else -1
+    builder.emit(
+        Instr(
+            index=builder.next_index,
+            pc=pc,
+            op=OpClass.BRANCH,
+            src1=src1,
+            taken=taken,
+            target=target,
+            is_call=is_call,
+            is_return=is_return,
+        )
+    )
+
+
+def _emit_iteration(builder: _TraceBuilder, state: _PhaseState) -> None:
+    """Emit one dynamic loop iteration of the phase."""
+    body = state.body
+    params = body.params
+    rng = builder.rng
+
+    skip_next = False
+    n_segments = len(body.segments)
+    for seg_idx, segment in enumerate(body.segments):
+        if skip_next:
+            skip_next = False
+            continue
+        for pos, sinstr in enumerate(segment):
+            induction = seg_idx == 0 and pos == 0
+            _emit_static(builder, state, sinstr, induction)
+        if seg_idx < len(body.branch_sites):
+            site = body.branch_sites[seg_idx]
+            taken = site.next_outcome()
+            if taken:
+                if seg_idx + 2 < n_segments:
+                    target = body.segments[seg_idx + 2][0].pc
+                else:
+                    target = body.call_pc
+                skip_next = True
+            else:
+                target = site.pc + 4
+            _emit_branch(builder, site.pc, taken, target, params)
+
+    if params.call_prob > 0.0 and rng.random() < params.call_prob:
+        _emit_branch(
+            builder,
+            body.call_pc,
+            taken=True,
+            target=body.callee[0].pc if body.callee else body.return_pc,
+            params=params,
+            is_call=True,
+        )
+        for sinstr in body.callee:
+            _emit_static(builder, state, sinstr, induction=False)
+        _emit_branch(
+            builder,
+            body.return_pc,
+            taken=True,
+            target=body.loop_branch.pc,
+            params=params,
+            is_return=True,
+        )
+
+    loop_taken = body.loop_branch.next_outcome()
+    loop_target = body.segments[0][0].pc
+    _emit_branch(
+        builder,
+        body.loop_branch.pc,
+        taken=loop_taken,
+        target=loop_target if loop_taken else body.loop_branch.pc + 4,
+        params=params,
+    )
+    state.end_iteration()
+    # iterations exchange values only through the induction chain and the
+    # explicit cross-iteration dependences; expression chains do not leak
+    # across the back edge
+    builder.recent.clear()
+
+
+class _Scheduler:
+    """Yields (phase_index, segment_length) pairs per the profile schedule."""
+
+    def __init__(self, profile: Profile, rng: random.Random) -> None:
+        self.profile = profile
+        self.rng = rng
+        self._next_phase = 0
+
+    def next_segment(self) -> Tuple[int, int]:
+        profile = self.profile
+        base = profile.segment_length
+        jitter = profile.segment_jitter
+        length = max(64, int(base * (1.0 + self.rng.uniform(-jitter, jitter))))
+        if profile.schedule == "steady":
+            return 0, length
+        if profile.schedule == "alternate":
+            phase = self._next_phase
+            self._next_phase = (phase + 1) % len(profile.phases)
+            return phase, length
+        # random
+        n = len(profile.phases)
+        choices = [i for i in range(n) if i != self._next_phase] or [0]
+        phase = self.rng.choice(choices)
+        self._next_phase = phase
+        return phase, length
+
+
+def generate_trace(profile: Profile, length: int, seed: int = 1) -> Trace:
+    """Generate a dynamic trace of ``length`` instructions for ``profile``.
+
+    Deterministic for a given (profile, length, seed); the same trace should
+    be replayed across processor configurations for a fair comparison.
+    """
+    if length < 1:
+        raise WorkloadError("trace length must be positive")
+    rng = random.Random(seed)
+    builder = _TraceBuilder(rng)
+
+    states = []
+    for i, params in enumerate(profile.phases):
+        body = build_loop_body(
+            params,
+            pc_base=0x0010_0000 * (i + 1),
+            rng=rng,
+            data_base=0x0200_0000 * (i + 1),
+        )
+        states.append(_PhaseState(body))
+
+    scheduler = _Scheduler(profile, rng)
+    while builder.next_index < length:
+        phase_idx, seg_len = scheduler.next_segment()
+        state = states[phase_idx]
+        segment_end = builder.next_index + seg_len
+        while builder.next_index < min(segment_end, length):
+            _emit_iteration(builder, state)
+
+    # Dependences point backwards, so truncating to the requested length is
+    # always safe and keeps interval arithmetic exact.
+    return Trace(profile.name, builder.instructions[:length])

@@ -1,0 +1,444 @@
+"""The nine benchmark profiles of the paper (Table 3), as synthetic stand-ins.
+
+The paper uses four SPEC2k integer programs, three SPEC2k FP programs, and
+two Mediabench programs.  We cannot run Alpha binaries, so each benchmark is
+replaced by a :class:`Profile` that reproduces the properties the paper's
+evaluation actually depends on:
+
+* degree of **distant ILP** (independent loop iterations and wide expression
+  trees vs. serial recurrences) — decides whether 16 clusters beat 4
+  (Figure 3);
+* **branch-misprediction interval** (Table 3) — decides the useful window;
+* **memory behaviour** (working-set size, access regularity) — decides load
+  latency tolerance and bank predictability;
+* **phase structure** (Table 4) — steady FP codes vs. integer codes with
+  fine- or coarse-grained variability, which decides which controller wins.
+
+``PAPER_TABLE3``/``PAPER_TABLE4`` record the paper's measured values for
+EXPERIMENTS.md comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .blocks import PhaseParams
+from .generator import Profile
+
+#: Paper Table 3: (base monolithic IPC, mispredict interval in instructions)
+PAPER_TABLE3: Dict[str, Tuple[float, int]] = {
+    "cjpeg": (2.06, 82),
+    "crafty": (1.85, 118),
+    "djpeg": (4.07, 249),
+    "galgel": (3.43, 88),
+    "gzip": (1.83, 87),
+    "mgrid": (2.28, 8977),
+    "parser": (1.42, 88),
+    "swim": (1.67, 22600),
+    "vpr": (1.20, 171),
+}
+
+#: Paper Table 4: minimum acceptable interval length (instructions) and the
+#: instability factor at a 10K interval, per benchmark.
+PAPER_TABLE4: Dict[str, Tuple[int, float]] = {
+    "gzip": (10_000, 0.04),
+    "vpr": (320_000, 0.14),
+    "crafty": (320_000, 0.30),
+    "parser": (40_000_000, 0.12),
+    "swim": (10_000, 0.00),
+    "mgrid": (10_000, 0.00),
+    "galgel": (10_000, 0.01),
+    "cjpeg": (40_000, 0.09),
+    "djpeg": (1_280_000, 0.31),
+}
+
+
+def _cjpeg() -> Profile:
+    """JPEG compression: block-parallel DCT work alternating with serial
+    Huffman coding at a moderate grain."""
+    dct = PhaseParams(
+        name="cjpeg-dct",
+        body_size=30,
+        frac_fp=0.15,
+        frac_load=0.24,
+        frac_store=0.12,
+        cross_iter_dep=0.08,
+        chain_prob=0.30,
+        inner_branches=2,
+        random_branch_frac=0.08,
+        biased_taken_prob=0.96,
+        mem_pattern="strided",
+        working_set=24 * 1024,
+        stride=8,
+    )
+    huffman = PhaseParams(
+        name="cjpeg-huffman",
+        body_size=14,
+        frac_fp=0.0,
+        frac_load=0.28,
+        frac_store=0.10,
+        cross_iter_dep=0.40,
+        chain_prob=0.65,
+        inner_branches=3,
+        random_branch_frac=0.09,
+        biased_taken_prob=0.95,
+        mem_pattern="hotcold",
+        working_set=20 * 1024,
+    )
+    return Profile(
+        name="cjpeg",
+        phases=(dct, huffman),
+        schedule="alternate",
+        segment_length=2_500,
+        description="Mediabench JPEG encode: DCT blocks + Huffman coding",
+    )
+
+
+def _crafty() -> Profile:
+    """Chess search: branchy, pointer-heavy, fine-grained phase changes."""
+    search = PhaseParams(
+        name="crafty-search",
+        body_size=16,
+        frac_load=0.26,
+        frac_store=0.08,
+        cross_iter_dep=0.25,
+        chain_prob=0.50,
+        inner_branches=3,
+        random_branch_frac=0.04,
+        biased_taken_prob=0.975,
+        call_prob=0.30,
+        callee_body=8,
+        mem_pattern="random",
+        working_set=20 * 1024,
+    )
+    evaluate = PhaseParams(
+        name="crafty-eval",
+        body_size=24,
+        frac_load=0.22,
+        frac_store=0.06,
+        cross_iter_dep=0.12,
+        chain_prob=0.40,
+        inner_branches=2,
+        random_branch_frac=0.04,
+        biased_taken_prob=0.97,
+        mem_pattern="random",
+        working_set=16 * 1024,
+    )
+    movegen = PhaseParams(
+        name="crafty-movegen",
+        body_size=12,
+        frac_load=0.30,
+        frac_store=0.14,
+        cross_iter_dep=0.55,
+        chain_prob=0.65,
+        inner_branches=3,
+        random_branch_frac=0.045,
+        biased_taken_prob=0.97,
+        mem_pattern="chase",
+        working_set=8 * 1024,
+    )
+    return Profile(
+        name="crafty",
+        phases=(search, evaluate, movegen),
+        schedule="random",
+        segment_length=1_200,
+        description="SPEC2k Int chess: fine-grained phase variability",
+    )
+
+
+def _djpeg() -> Profile:
+    """JPEG decode: highly parallel IDCT interleaved with shorter serial
+    upsampling/output phases at a fine grain (high distant ILP overall)."""
+    idct = PhaseParams(
+        name="djpeg-idct",
+        body_size=40,
+        frac_fp=0.15,
+        frac_load=0.16,
+        frac_store=0.12,
+        cross_iter_dep=0.0,
+        chain_prob=0.18,
+        second_src_prob=0.45,
+        inner_branches=1,
+        random_branch_frac=0.02,
+        biased_taken_prob=0.985,
+        loop_taken_prob=0.99,
+        mem_pattern="strided",
+        working_set=24 * 1024,
+        stride=8,
+    )
+    upsample = PhaseParams(
+        name="djpeg-upsample",
+        body_size=14,
+        frac_fp=0.0,
+        frac_load=0.28,
+        frac_store=0.16,
+        cross_iter_dep=0.50,
+        chain_prob=0.60,
+        inner_branches=2,
+        random_branch_frac=0.035,
+        biased_taken_prob=0.98,
+        mem_pattern="strided",
+        working_set=16 * 1024,
+    )
+    return Profile(
+        name="djpeg",
+        phases=(idct, upsample),
+        schedule="alternate",
+        segment_length=2_000,
+        description="Mediabench JPEG decode: distant ILP with fine phases",
+    )
+
+
+def _galgel() -> Profile:
+    """Fluid dynamics: FP loops with distant ILP but branchier than the
+    other FP codes (Table 3 shows an 88-instruction mispredict interval)."""
+    solver = PhaseParams(
+        name="galgel-solver",
+        body_size=36,
+        frac_fp=0.50,
+        frac_mul=0.25,
+        frac_load=0.24,
+        frac_store=0.10,
+        cross_iter_dep=0.03,
+        chain_prob=0.20,
+        second_src_prob=0.45,
+        inner_branches=2,
+        random_branch_frac=0.09,
+        biased_taken_prob=0.96,
+        mem_pattern="strided",
+        working_set=32 * 1024,
+        stride=8,
+    )
+    return Profile(
+        name="galgel",
+        phases=(solver,),
+        schedule="steady",
+        segment_length=8_192,
+        description="SPEC2k FP Galerkin: stable, distant ILP, branchy",
+    )
+
+
+def _gzip() -> Profile:
+    """LZ77 compression: prolonged phases, some with distant ILP (long
+    literal runs) and some serial (match chains).  The paper highlights that
+    the dynamic scheme beats even the best static choice here."""
+    literal = PhaseParams(
+        name="gzip-literal",
+        body_size=30,
+        frac_load=0.24,
+        frac_store=0.12,
+        cross_iter_dep=0.30,
+        chain_prob=0.60,
+        inner_branches=2,
+        random_branch_frac=0.13,
+        biased_taken_prob=0.94,
+        mem_pattern="strided",
+        working_set=24 * 1024,
+        stride=8,
+    )
+    match = PhaseParams(
+        name="gzip-match",
+        body_size=14,
+        frac_load=0.30,
+        frac_store=0.08,
+        cross_iter_dep=0.60,
+        chain_prob=0.70,
+        second_src_prob=0.50,
+        dep_window=10,
+        inner_branches=3,
+        random_branch_frac=0.08,
+        biased_taken_prob=0.96,
+        mem_pattern="hotcold",
+        working_set=48 * 1024,
+        hot_prob=0.90,
+    )
+    return Profile(
+        name="gzip",
+        phases=(literal, match),
+        schedule="alternate",
+        segment_length=24_576,
+        description="SPEC2k Int gzip: prolonged alternating ILP phases",
+    )
+
+
+def _mgrid() -> Profile:
+    """Multigrid solver: long, extremely predictable FP loops with abundant
+    distant ILP (mispredict interval ~9000)."""
+    relax = PhaseParams(
+        name="mgrid-relax",
+        body_size=40,
+        frac_fp=0.60,
+        frac_mul=0.30,
+        frac_load=0.28,
+        frac_store=0.10,
+        cross_iter_dep=0.0,
+        chain_prob=0.45,
+        inner_branches=1,
+        random_branch_frac=0.0,
+        biased_taken_prob=0.998,
+        loop_taken_prob=0.998,
+        mem_pattern="strided",
+        working_set=160 * 1024,
+        stride=8,
+    )
+    return Profile(
+        name="mgrid",
+        phases=(relax,),
+        schedule="steady",
+        segment_length=8_192,
+        description="SPEC2k FP multigrid: stable loops, distant ILP",
+    )
+
+
+def _parser() -> Profile:
+    """Natural-language parsing: input-dependent behaviour that only looks
+    uniform at very coarse interval lengths (Table 4: 40M)."""
+    tokenize = PhaseParams(
+        name="parser-tokenize",
+        body_size=16,
+        frac_load=0.28,
+        frac_store=0.10,
+        cross_iter_dep=0.25,
+        chain_prob=0.55,
+        inner_branches=3,
+        random_branch_frac=0.065,
+        biased_taken_prob=0.96,
+        mem_pattern="hotcold",
+        working_set=32 * 1024,
+    )
+    link = PhaseParams(
+        name="parser-link",
+        body_size=20,
+        frac_load=0.30,
+        frac_store=0.08,
+        cross_iter_dep=0.30,
+        chain_prob=0.60,
+        inner_branches=3,
+        random_branch_frac=0.07,
+        biased_taken_prob=0.96,
+        call_prob=0.25,
+        callee_body=10,
+        mem_pattern="chase",
+        working_set=24 * 1024,
+    )
+    prune = PhaseParams(
+        name="parser-prune",
+        body_size=12,
+        frac_load=0.26,
+        frac_store=0.12,
+        cross_iter_dep=0.20,
+        chain_prob=0.55,
+        inner_branches=2,
+        random_branch_frac=0.06,
+        biased_taken_prob=0.96,
+        mem_pattern="random",
+        working_set=48 * 1024,
+    )
+    return Profile(
+        name="parser",
+        phases=(tokenize, link, prune),
+        schedule="random",
+        segment_length=12_288,
+        description="SPEC2k Int parser: irregular, coarse-grained variability",
+    )
+
+
+def _swim() -> Profile:
+    """Shallow-water model: memory-bound, perfectly predictable FP loops
+    over large arrays, fully independent iterations."""
+    stencil = PhaseParams(
+        name="swim-stencil",
+        body_size=48,
+        frac_fp=0.62,
+        frac_mul=0.25,
+        frac_load=0.30,
+        frac_store=0.12,
+        cross_iter_dep=0.0,
+        chain_prob=0.50,
+        inner_branches=1,
+        random_branch_frac=0.0,
+        biased_taken_prob=0.9995,
+        loop_taken_prob=0.9995,
+        mem_pattern="strided",
+        working_set=2560 * 1024,
+        stride=16,
+    )
+    return Profile(
+        name="swim",
+        phases=(stencil,),
+        schedule="steady",
+        segment_length=8_192,
+        description="SPEC2k FP swim: memory-bound stencils, distant ILP",
+    )
+
+
+def _vpr() -> Profile:
+    """Place-and-route: serial cost evaluation over irregular structures;
+    low ILP, modest phase variability."""
+    place = PhaseParams(
+        name="vpr-place",
+        body_size=14,
+        frac_load=0.30,
+        frac_store=0.10,
+        cross_iter_dep=0.45,
+        chain_prob=0.65,
+        inner_branches=3,
+        random_branch_frac=0.02,
+        biased_taken_prob=0.98,
+        mem_pattern="random",
+        working_set=40 * 1024,
+    )
+    route = PhaseParams(
+        name="vpr-route",
+        body_size=18,
+        frac_load=0.28,
+        frac_store=0.08,
+        cross_iter_dep=0.40,
+        chain_prob=0.65,
+        inner_branches=3,
+        random_branch_frac=0.025,
+        biased_taken_prob=0.98,
+        mem_pattern="chase",
+        working_set=40 * 1024,
+    )
+    return Profile(
+        name="vpr",
+        phases=(place, route),
+        schedule="alternate",
+        segment_length=5_000,
+        description="SPEC2k Int vpr: low ILP, communication-averse",
+    )
+
+
+_PROFILE_FACTORIES = {
+    "cjpeg": _cjpeg,
+    "crafty": _crafty,
+    "djpeg": _djpeg,
+    "galgel": _galgel,
+    "gzip": _gzip,
+    "mgrid": _mgrid,
+    "parser": _parser,
+    "swim": _swim,
+    "vpr": _vpr,
+}
+
+BENCHMARK_NAMES = tuple(sorted(_PROFILE_FACTORIES))
+
+#: Programs the paper identifies as having abundant distant ILP (they scale
+#: to 16 clusters in Figure 3).
+DISTANT_ILP_BENCHMARKS = ("djpeg", "swim", "mgrid", "galgel")
+
+
+def get_profile(name: str) -> Profile:
+    """The profile for one of the nine Table 3 benchmarks."""
+    try:
+        return _PROFILE_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+
+
+def all_profiles() -> Dict[str, Profile]:
+    """All nine benchmark profiles, keyed by name."""
+    return {name: get_profile(name) for name in BENCHMARK_NAMES}

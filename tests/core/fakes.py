@@ -1,0 +1,60 @@
+"""A minimal processor stand-in for controller unit tests.
+
+Controllers touch: ``processor.stats``, ``processor.config.num_clusters``,
+``processor.active_clusters``, and ``processor.set_active_clusters``.  The
+fake lets tests feed synthetic interval statistics and observe the
+controller's reconfiguration decisions without a full simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import default_config
+from repro.stats import SimStats
+from repro.workloads.instruction import Instr, OpClass
+
+
+class FakeProcessor:
+    def __init__(self, num_clusters: int = 16) -> None:
+        self.config = default_config(num_clusters)
+        self.stats = SimStats()
+        self.active_clusters = num_clusters
+        self.history: List[Tuple[int, str]] = []
+
+    def set_active_clusters(self, n: int, reason: str = "") -> None:
+        n = max(1, min(n, self.config.num_clusters))
+        if n != self.active_clusters:
+            self.stats.reconfigurations += 1
+        self.active_clusters = n
+        self.history.append((n, reason))
+
+
+def feed_interval(
+    controller,
+    processor: FakeProcessor,
+    committed: int,
+    ipc: float,
+    branch_rate: float = 0.1,
+    memref_rate: float = 0.3,
+    distant_rate: float = 0.0,
+) -> None:
+    """Advance the fake machine by one interval's worth of commits.
+
+    Statistics counters move as if ``committed`` instructions committed at
+    the given IPC and event rates; the controller's ``on_commit`` hook is
+    invoked per instruction (with non-branch/non-mem fillers), which is all
+    the interval controllers observe.
+    """
+    stats = processor.stats
+    stats.cycles += int(committed / max(ipc, 1e-9))
+    branches = int(committed * branch_rate)
+    memrefs = int(committed * memref_rate)
+    distants = int(committed * distant_rate)
+    stats.branches += branches
+    stats.memrefs += memrefs
+    stats.distant_commits += distants
+    for i in range(committed):
+        stats.committed += 1
+        instr = Instr(0, 0x40, OpClass.INT_ALU)
+        controller.on_commit(instr, stats.cycles, distant=i < distants)

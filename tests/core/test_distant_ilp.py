@@ -1,0 +1,62 @@
+"""Distant-ILP window (Section 4.4 measurement hardware)."""
+
+import pytest
+
+from repro.core.distant_ilp import DEFAULT_WINDOW, DistantWindow
+
+
+class TestWindow:
+    def test_default_window_is_360(self):
+        assert DEFAULT_WINDOW == 360
+        assert DistantWindow().window == 360
+
+    def test_counter_tracks_distant_pushes(self):
+        w = DistantWindow(window=10)
+        for _ in range(4):
+            w.push(-1, True)
+        for _ in range(3):
+            w.push(-1, False)
+        assert w.distant_count == 4
+
+    def test_counter_decrements_on_exit(self):
+        w = DistantWindow(window=3)
+        w.push(-1, True)
+        for _ in range(3):
+            w.push(-1, False)
+        assert w.distant_count == 0
+
+    def test_branch_sample_counts_following_window(self):
+        """A branch's sample must equal the distant count among exactly the
+        `window` instructions that committed after it."""
+        w = DistantWindow(window=5)
+        assert w.push(0x40, False) is None  # the branch enters
+        for i in range(4):
+            assert w.push(-1, True) is None
+        sample = w.push(-1, True)  # branch now exits
+        assert sample == (0x40, 5)
+
+    def test_branch_own_distance_excluded(self):
+        w = DistantWindow(window=2)
+        w.push(0x40, True)  # a distant branch
+        w.push(-1, False)
+        sample = w.push(-1, False)
+        assert sample == (0x40, 0)  # its own flag must not count
+
+    def test_non_branch_exits_produce_no_samples(self):
+        w = DistantWindow(window=2)
+        for _ in range(10):
+            assert w.push(-1, True) is None or False
+
+    def test_consecutive_branches_each_sampled(self):
+        w = DistantWindow(window=3)
+        w.push(0x10, False)
+        w.push(0x20, False)
+        w.push(-1, True)
+        s1 = w.push(-1, True)
+        s2 = w.push(-1, False)
+        assert s1 == (0x10, 2)
+        assert s2 == (0x20, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistantWindow(0)

@@ -1,0 +1,176 @@
+"""Fine-grained branch-boundary reconfiguration and the subroutine variant."""
+
+import pytest
+
+from repro.core.finegrain import FineGrainConfig, FineGrainController, ReconfigTable
+from repro.core.subroutine import SubroutineController, subroutine_config
+from repro.workloads.instruction import Instr, OpClass
+
+from .fakes import FakeProcessor
+
+
+def _branch(pc, **kw):
+    return Instr(0, pc, OpClass.BRANCH, taken=True, target=pc + 8, **kw)
+
+
+def _alu():
+    return Instr(0, 0x10, OpClass.INT_ALU)
+
+
+class TestReconfigTable:
+    def _cfg(self, samples=3, threshold=10):
+        return FineGrainConfig(samples_needed=samples, distant_threshold=threshold)
+
+    def test_no_advice_until_m_samples(self):
+        t = ReconfigTable(64)
+        cfg = self._cfg(samples=3)
+        t.add_sample(0x40, 50, cfg)
+        t.add_sample(0x40, 50, cfg)
+        assert t.lookup(0x40) is None
+        t.add_sample(0x40, 50, cfg)
+        assert t.lookup(0x40) == cfg.large_config
+
+    def test_low_distant_advises_small(self):
+        t = ReconfigTable(64)
+        cfg = self._cfg(samples=2, threshold=10)
+        t.add_sample(0x40, 1, cfg)
+        t.add_sample(0x40, 2, cfg)
+        assert t.lookup(0x40) == cfg.small_config
+
+    def test_advice_is_mean_of_samples(self):
+        t = ReconfigTable(64)
+        cfg = self._cfg(samples=2, threshold=10)
+        t.add_sample(0x40, 0, cfg)
+        t.add_sample(0x40, 30, cfg)  # mean 15 >= 10
+        assert t.lookup(0x40) == cfg.large_config
+
+    def test_samples_stop_after_advice(self):
+        """Section 4.4: after M samples the entry is not updated further."""
+        t = ReconfigTable(64)
+        cfg = self._cfg(samples=1, threshold=10)
+        t.add_sample(0x40, 50, cfg)
+        assert t.lookup(0x40) == cfg.large_config
+        t.add_sample(0x40, 0, cfg)
+        assert t.lookup(0x40) == cfg.large_config
+
+    def test_flush_clears(self):
+        t = ReconfigTable(64)
+        cfg = self._cfg(samples=1)
+        t.add_sample(0x40, 50, cfg)
+        t.flush()
+        assert t.lookup(0x40) is None
+        assert len(t) == 0
+
+    def test_capacity_bounded(self):
+        t = ReconfigTable(2)
+        cfg = self._cfg(samples=1)
+        for pc in (0x10, 0x20, 0x30):
+            t.add_sample(pc, 50, cfg)
+        assert len(t) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigTable(0)
+
+
+class TestFineGrainController:
+    def _controller(self, **kw):
+        defaults = dict(branch_stride=2, samples_needed=2, window=4,
+                        distant_threshold=2, flush_period=10_000)
+        defaults.update(kw)
+        proc = FakeProcessor(16)
+        ctrl = FineGrainController(FineGrainConfig(**defaults))
+        ctrl.attach(proc)
+        return ctrl, proc
+
+    def test_unknown_branch_uses_large_config(self):
+        ctrl, proc = self._controller(branch_stride=1)
+        proc.set_active_clusters(4)
+        ctrl.on_dispatch(_branch(0x40), 10)
+        assert proc.active_clusters == 16
+
+    def test_stride_skips_branches(self):
+        ctrl, proc = self._controller(branch_stride=3)
+        proc.set_active_clusters(4)
+        ctrl.on_dispatch(_branch(0x40), 10)
+        ctrl.on_dispatch(_branch(0x44), 11)
+        assert proc.active_clusters == 4  # only every 3rd branch acts
+        ctrl.on_dispatch(_branch(0x48), 12)
+        assert proc.active_clusters == 16
+
+    def test_non_branches_ignored(self):
+        ctrl, proc = self._controller(branch_stride=1)
+        proc.set_active_clusters(4)
+        ctrl.on_dispatch(_alu(), 10)
+        assert proc.active_clusters == 4
+
+    def test_learns_advice_from_commit_stream(self):
+        ctrl, proc = self._controller(branch_stride=1, samples_needed=1,
+                                      window=4, distant_threshold=3)
+        # commit a branch followed by 4 distant instructions, twice
+        for _ in range(2):
+            ctrl.on_commit(_branch(0x80), 1, distant=False)
+            for _ in range(4):
+                ctrl.on_commit(_alu(), 1, distant=True)
+        assert ctrl.table.lookup(0x80) == 16
+        ctrl.on_dispatch(_branch(0x80), 5)
+        assert proc.active_clusters == 16
+        assert ctrl.table_hits == 1
+
+    def test_low_ilp_branch_advises_small(self):
+        ctrl, proc = self._controller(branch_stride=1, samples_needed=1,
+                                      window=4, distant_threshold=3)
+        ctrl.on_commit(_branch(0x80), 1, distant=False)
+        for _ in range(5):
+            ctrl.on_commit(_alu(), 1, distant=False)
+        assert ctrl.table.lookup(0x80) == 4
+        ctrl.on_dispatch(_branch(0x80), 5)
+        assert proc.active_clusters == 4
+
+    def test_periodic_flush(self):
+        ctrl, proc = self._controller(branch_stride=1, samples_needed=1,
+                                      window=2, distant_threshold=1,
+                                      flush_period=10)
+        ctrl.on_commit(_branch(0x80), 1, distant=False)
+        for _ in range(3):
+            ctrl.on_commit(_alu(), 1, distant=True)
+        assert len(ctrl.table) == 1
+        for _ in range(10):
+            ctrl.on_commit(_alu(), 1, distant=False)
+        assert len(ctrl.table) == 0
+
+    def test_paper_defaults(self):
+        cfg = FineGrainConfig()
+        assert cfg.branch_stride == 5
+        assert cfg.samples_needed == 10
+        assert cfg.window == 360
+        assert cfg.table_entries == 16 * 1024
+        assert cfg.flush_period == 10_000_000
+
+
+class TestSubroutineController:
+    def test_config_overrides(self):
+        cfg = subroutine_config()
+        assert cfg.branch_stride == 1
+        assert cfg.samples_needed == 3
+
+    def test_only_calls_and_returns_act(self):
+        proc = FakeProcessor(16)
+        ctrl = SubroutineController()
+        ctrl.attach(proc)
+        proc.set_active_clusters(4)
+        ctrl.on_dispatch(_branch(0x40), 1)  # plain branch: ignored
+        assert proc.active_clusters == 4
+        ctrl.on_dispatch(_branch(0x44, is_call=True), 2)
+        assert proc.active_clusters == 16
+
+    def test_only_call_return_pcs_sampled(self):
+        proc = FakeProcessor(16)
+        ctrl = SubroutineController()
+        ctrl.attach(proc)
+        ctrl.on_commit(_branch(0x40), 1, distant=False)  # plain branch
+        ctrl.on_commit(_branch(0x44, is_return=True), 1, distant=False)
+        for _ in range(400):
+            ctrl.on_commit(_alu(), 1, distant=False)
+        # the plain branch never entered the table
+        assert ctrl.table.lookup(0x40) is None

@@ -1,0 +1,86 @@
+"""Section 4.3: no-exploration controller driven by the distant-ILP metric."""
+
+import pytest
+
+from repro.core.interval_noexplore import DistantILPController, NoExploreConfig
+
+from .fakes import FakeProcessor, feed_interval
+
+
+def _controller(**kw):
+    defaults = dict(interval_length=1000)
+    defaults.update(kw)
+    proc = FakeProcessor(16)
+    ctrl = DistantILPController(NoExploreConfig(**defaults))
+    ctrl.attach(proc)
+    return ctrl, proc
+
+
+class TestDecision:
+    def test_measures_at_full_width_first(self):
+        ctrl, proc = _controller()
+        assert proc.active_clusters == 16
+
+    def test_distant_ilp_selects_large_config(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.3)  # 300 > 160
+        assert proc.active_clusters == 16
+        assert ctrl.choice_counts[16] == 1
+
+    def test_no_distant_ilp_selects_small_config(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)  # 50 < 160
+        assert proc.active_clusters == 4
+        assert ctrl.choice_counts[4] == 1
+
+    def test_paper_threshold(self):
+        cfg = NoExploreConfig()
+        assert cfg.interval_length == 1000
+        assert cfg.distant_threshold == pytest.approx(160.0)
+
+    def test_threshold_scales_with_interval(self):
+        cfg = NoExploreConfig(interval_length=500)
+        assert cfg.distant_threshold == pytest.approx(80.0)
+
+
+class TestPhaseTracking:
+    def test_stays_settled_on_stable_program(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)
+        for _ in range(10):
+            feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)
+        assert proc.active_clusters == 4
+        assert ctrl.phase_changes == 0
+
+    def test_branch_shift_triggers_remeasurement(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)
+        feed_interval(ctrl, proc, 1000, ipc=1.5)  # establishes IPC reference
+        feed_interval(ctrl, proc, 1000, ipc=1.5, branch_rate=0.3)
+        assert ctrl.phase_changes == 1
+        assert proc.active_clusters == 16  # measuring again
+
+    def test_remeasurement_can_flip_decision(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)
+        assert proc.active_clusters == 4
+        feed_interval(ctrl, proc, 1000, ipc=1.5)
+        feed_interval(ctrl, proc, 1000, ipc=1.5, branch_rate=0.3)  # phase change
+        feed_interval(ctrl, proc, 1000, ipc=1.5, branch_rate=0.3, distant_rate=0.4)
+        assert proc.active_clusters == 16
+
+    def test_ipc_shift_triggers_remeasurement(self):
+        ctrl, proc = _controller()
+        feed_interval(ctrl, proc, 1000, ipc=1.5, distant_rate=0.05)
+        feed_interval(ctrl, proc, 1000, ipc=1.5)
+        feed_interval(ctrl, proc, 1000, ipc=0.6)
+        assert ctrl.phase_changes == 1
+
+
+class TestClamping:
+    def test_small_machine(self):
+        proc = FakeProcessor(8)
+        ctrl = DistantILPController(NoExploreConfig(interval_length=500))
+        ctrl.attach(proc)
+        feed_interval(ctrl, proc, 500, ipc=1.0, distant_rate=0.5)
+        assert proc.active_clusters == 8

@@ -1,0 +1,93 @@
+"""Macrophase hierarchy and software-invocation overhead (Section 4.2)."""
+
+import pytest
+
+from repro.core.interval_explore import ExploreConfig, IntervalExploreController
+
+from .fakes import FakeProcessor, feed_interval
+
+
+def _controller(**kw):
+    defaults = dict(initial_interval=100, max_interval=400)
+    defaults.update(kw)
+    proc = FakeProcessor(16)
+    ctrl = IntervalExploreController(ExploreConfig(**defaults))
+    ctrl.attach(proc)
+    return ctrl, proc
+
+
+class TestMacrophase:
+    def test_disabled_by_default_at_laptop_scale(self):
+        cfg = ExploreConfig.scaled()
+        # the paper value is far beyond any laptop trace, i.e. inert
+        assert cfg.macro_interval >= 10 ** 9
+
+    def test_stable_macro_windows_do_not_reset(self):
+        ctrl, proc = _controller(macro_interval=500)
+        for _ in range(20):
+            feed_interval(ctrl, proc, 100, ipc=1.0)
+        assert ctrl.macrophase_changes == 0
+
+    def test_macro_shift_reinitializes(self):
+        ctrl, proc = _controller(
+            macro_interval=500, instability_threshold=1.0, instability_increment=2.0
+        )
+        # drive the interval length up via constant phase changes
+        rate = 0.1
+        for _ in range(10):
+            feed_interval(ctrl, proc, ctrl.interval_length, 1.0, branch_rate=rate)
+            rate = 0.35 - rate
+        grown = ctrl.interval_length
+        assert grown > 100
+        before = ctrl.macrophase_changes
+        # now shift the macro-level branch mix drastically
+        for _ in range(10):
+            feed_interval(ctrl, proc, 100, ipc=1.0, branch_rate=0.02)
+        assert ctrl.macrophase_changes > before
+        # the reinitialized interval may re-adapt, but never past where the
+        # old macrophase had driven it plus one doubling
+        assert ctrl.interval_length <= grown * 2
+
+    def test_macro_reset_clears_discontinued(self):
+        ctrl, proc = _controller(
+            macro_interval=600,
+            max_interval=150,
+            instability_threshold=0.5,
+            instability_increment=2.0,
+        )
+        rate = 0.1
+        for _ in range(6):
+            feed_interval(ctrl, proc, ctrl.interval_length, 1.0, branch_rate=rate)
+            rate = 0.35 - rate
+            if ctrl.discontinued:
+                break
+        assert ctrl.discontinued
+        # a macro-scale regime change lifts the give-up flag again
+        for _ in range(12):
+            feed_interval(ctrl, proc, 100, ipc=1.0, branch_rate=0.02)
+        assert ctrl.macrophase_changes >= 1
+        assert not ctrl.discontinued
+
+
+class TestInvocationOverhead:
+    def test_overhead_stalls_dispatch(self, parallel_trace, config16):
+        from repro.experiments.runner import run_trace
+
+        free = IntervalExploreController(
+            ExploreConfig.scaled(initial_interval=400)
+        )
+        costly_cfg = ExploreConfig.scaled(initial_interval=400)
+        import dataclasses
+
+        costly = IntervalExploreController(
+            dataclasses.replace(costly_cfg, invocation_overhead=60)
+        )
+        fast = run_trace(parallel_trace, config16, free, warmup=0)
+        slow = run_trace(parallel_trace, config16, costly, warmup=0)
+        assert slow.cycles >= fast.cycles
+
+    def test_negative_overhead_rejected(self):
+        from repro.core.controller import IntervalController
+
+        with pytest.raises(ValueError):
+            IntervalController(100, invocation_overhead=-1)

@@ -1,0 +1,69 @@
+"""Phase-change detection."""
+
+from repro.core.phase import (
+    PhaseDetectConfig,
+    PhaseReference,
+    compare_to_reference,
+)
+from repro.stats import IntervalWindow
+
+
+def _window(committed=1000, cycles=500, branches=100, memrefs=250):
+    return IntervalWindow(committed=committed, cycles=cycles,
+                          branches=branches, memrefs=memrefs)
+
+
+class TestCountSignals:
+    def test_identical_interval_is_stable(self):
+        ref = PhaseReference(branches=100, memrefs=250, ipc=2.0)
+        s = compare_to_reference(_window(), ref, 1000)
+        assert not s.memrefs and not s.branches and not s.ipc
+        assert not s.counts_changed
+
+    def test_branch_shift_detected(self):
+        ref = PhaseReference(branches=100, memrefs=250)
+        s = compare_to_reference(_window(branches=130), ref, 1000)
+        assert s.branches and s.counts_changed
+
+    def test_memref_shift_detected(self):
+        ref = PhaseReference(branches=100, memrefs=250)
+        s = compare_to_reference(_window(memrefs=200), ref, 1000)
+        assert s.memrefs
+
+    def test_threshold_scales_with_interval(self):
+        """The paper's rule: significant = more than interval/100."""
+        ref = PhaseReference(branches=100, memrefs=250)
+        s_small = compare_to_reference(_window(branches=108), ref, 1000)
+        s_large = compare_to_reference(_window(branches=108), ref, 10_000)
+        assert not s_small.branches  # 8 <= 10
+        # for a 10K interval the threshold is 100, so still stable
+        assert not s_large.branches
+
+    def test_count_divisor_config(self):
+        ref = PhaseReference(branches=100, memrefs=250)
+        strict = PhaseDetectConfig(count_divisor=1000)
+        s = compare_to_reference(_window(branches=103), ref, 1000, strict)
+        assert s.branches  # threshold is 1 now
+
+
+class TestIpcSignal:
+    def test_ipc_ignored_without_reference(self):
+        ref = PhaseReference(branches=100, memrefs=250, ipc=None)
+        s = compare_to_reference(_window(cycles=100), ref, 1000)
+        assert not s.ipc
+
+    def test_ipc_change_detected(self):
+        ref = PhaseReference(branches=100, memrefs=250, ipc=2.0)
+        s = compare_to_reference(_window(cycles=1000), ref, 1000)  # ipc 1.0
+        assert s.ipc
+
+    def test_ipc_within_tolerance(self):
+        ref = PhaseReference(branches=100, memrefs=250, ipc=2.0)
+        s = compare_to_reference(_window(cycles=521), ref, 1000)  # ipc 1.92
+        assert not s.ipc
+
+    def test_custom_tolerance(self):
+        ref = PhaseReference(branches=100, memrefs=250, ipc=2.0)
+        loose = PhaseDetectConfig(ipc_tolerance=0.5)
+        s = compare_to_reference(_window(cycles=800), ref, 1000, loose)  # 1.25
+        assert not s.ipc

@@ -1,0 +1,116 @@
+"""Exhibit entry points (structure checks on tiny runs)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure3,
+    idealized_communication,
+    print_figure3,
+    print_idealized,
+    sensitivity_variants,
+)
+from repro.experiments.tables import print_table3, print_table4, table3, table4
+
+BENCHES = ("gzip", "swim")
+LEN = 6_000
+
+
+@pytest.fixture(scope="module")
+def fig3_results():
+    return figure3(benchmarks=BENCHES, trace_length=LEN)
+
+
+class TestFigure3:
+    def test_structure(self, fig3_results):
+        assert set(fig3_results) == set(BENCHES)
+        for by_scheme in fig3_results.values():
+            assert set(by_scheme) == {f"static-{n}" for n in (2, 4, 8, 16)}
+            for r in by_scheme.values():
+                assert r.ipc > 0
+
+    def test_static_n_limits_active_clusters(self, fig3_results):
+        for by_scheme in fig3_results.values():
+            assert by_scheme["static-2"].avg_active_clusters <= 2.01
+            assert by_scheme["static-8"].avg_active_clusters <= 8.01
+
+    def test_printout(self, fig3_results):
+        text = print_figure3(fig3_results)
+        assert "Figure 3" in text and "gzip" in text and "geomean" in text
+
+
+class TestIdealized:
+    def test_free_communication_never_hurts(self):
+        results = idealized_communication(benchmarks=("swim",), trace_length=LEN)
+        base = results["swim"]["baseline"].ipc
+        assert results["swim"]["free-memory"].ipc >= base * 0.98
+        assert results["swim"]["free-register"].ipc >= base * 0.98
+
+    def test_printout(self):
+        results = idealized_communication(benchmarks=("swim",), trace_length=LEN)
+        text = print_idealized(results, "centralized")
+        assert "free memory comm" in text
+
+
+class TestSensitivityVariants:
+    def test_variant_set(self):
+        variants = sensitivity_variants()
+        assert set(variants) == {
+            "base", "fewer-resources", "more-resources", "more-fus", "double-hop",
+        }
+        assert variants["fewer-resources"].cluster.issue_queue_size == 10
+        assert variants["more-resources"].cluster.regfile_size == 40
+        assert variants["double-hop"].interconnect.hop_latency == 2
+        assert variants["more-fus"].cluster.int_alus == 2
+
+
+class TestTables:
+    def test_table3(self):
+        results = table3(benchmarks=BENCHES, trace_length=LEN)
+        assert set(results) == set(BENCHES)
+        text = print_table3(results)
+        assert "Table 3" in text and "paper IPC" in text
+
+    def test_table4(self):
+        profiles = table4(benchmarks=("swim",), trace_length=LEN,
+                          granularity=200, factors=(1, 2, 4))
+        assert "swim" in profiles
+        factors = profiles["swim"].factors
+        assert 200 in factors
+        text = print_table4(profiles)
+        assert "Table 4" in text and "swim" in text
+
+
+class TestDynamicExhibits:
+    """Structure checks for the controller-sweep exhibits (tiny runs)."""
+
+    def test_figure5_schemes_present(self):
+        from repro.experiments.figures import figure5, print_figure5
+
+        results = figure5(benchmarks=("swim",), trace_length=5_000)
+        schemes = set(results["swim"])
+        assert {"static-4", "static-16", "interval-explore"} <= schemes
+        assert any(s.startswith("no-explore") for s in schemes)
+        assert "Figure 5" in print_figure5(results)
+
+    def test_figure6_schemes_present(self):
+        from repro.experiments.figures import figure6, print_figure6
+
+        results = figure6(benchmarks=("swim",), trace_length=5_000)
+        schemes = set(results["swim"])
+        assert {"finegrain-branch", "finegrain-subroutine"} <= schemes
+        assert "Figure 6" in print_figure6(results)
+
+    def test_figure7_decentralized_machine(self):
+        from repro.experiments.figures import figure7, print_figure7
+
+        results = figure7(benchmarks=("swim",), trace_length=5_000)
+        assert results["swim"]["static-16"].ipc > 0
+        text = print_figure7(results)
+        assert "Figure 7" in text and "flush writebacks" in text
+
+    def test_figure8_grid_machine(self):
+        from repro.experiments.figures import figure8, print_figure8
+
+        results = figure8(benchmarks=("swim",), trace_length=5_000)
+        assert results["swim"]["static-16"].ipc > 0
+        assert "Figure 8" in print_figure8(results)

@@ -1,0 +1,59 @@
+"""Reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import format_table, geomean, ipc_table
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["longer", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.123456]])
+        assert "1235" in text
+        assert "0.123" in text
+
+
+class TestIpcTable:
+    def _results(self):
+        return {
+            "alpha": {"static-4": 1.0, "static-16": 2.0, "dyn": 2.2},
+            "beta": {"static-4": 1.0, "static-16": 0.5, "dyn": 1.1},
+        }
+
+    def test_contains_benchmarks_and_geomean(self):
+        text = ipc_table(self._results(), ["static-4", "static-16", "dyn"], "T")
+        assert "alpha" in text and "beta" in text and "geomean" in text
+
+    def test_improvement_vs_best_static(self):
+        text = ipc_table(
+            self._results(),
+            ["static-4", "static-16", "dyn"],
+            "T",
+            baseline_schemes=("static-4", "static-16"),
+        )
+        # geomeans: static-4 = 1.0, static-16 = 1.0, dyn = sqrt(2.42) ~ 1.556
+        assert "best static base case" in text
+        assert "dyn: +" in text

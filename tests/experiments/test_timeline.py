@@ -1,0 +1,67 @@
+"""Reconfiguration timeline recorder."""
+
+import pytest
+
+from repro import (
+    DistantILPController,
+    NoExploreConfig,
+    StaticController,
+    default_config,
+)
+from repro.experiments.timeline import Reconfiguration, TimelineRecorder, _glyph
+from repro.pipeline.processor import ClusteredProcessor
+
+
+class TestGlyphs:
+    def test_known_counts(self):
+        assert _glyph(1) == "."
+        assert _glyph(16) == "@"
+
+    def test_nearest_for_odd_counts(self):
+        assert _glyph(3) in (":", "|")
+        assert _glyph(12) in ("#", "@")
+
+
+class TestRecorder:
+    def test_records_static_controller_initial_change(self, parallel_trace, config16):
+        rec = TimelineRecorder(StaticController(4))
+        proc = ClusteredProcessor(parallel_trace, config16, rec)
+        proc.run()
+        assert len(rec.events) == 1
+        assert rec.events[0].clusters == 4
+        assert proc.stats.committed == len(parallel_trace)
+
+    def test_records_dynamic_events_in_order(self, phased_trace, config16):
+        rec = TimelineRecorder(
+            DistantILPController(NoExploreConfig.scaled(interval_length=500))
+        )
+        proc = ClusteredProcessor(phased_trace, config16, rec)
+        proc.run()
+        assert rec.events, "dynamic controller should reconfigure"
+        commits = [e.committed for e in rec.events]
+        assert commits == sorted(commits)
+        # events reflect actual changes only
+        clusters = [e.clusters for e in rec.events]
+        assert all(a != b for a, b in zip(clusters, clusters[1:])) or len(clusters) == 1
+
+    def test_forwards_dispatch_flag(self):
+        from repro.core import FineGrainController
+
+        rec = TimelineRecorder(FineGrainController())
+        assert rec.needs_dispatch_events
+
+    def test_render_strip(self, phased_trace, config16):
+        rec = TimelineRecorder(
+            DistantILPController(NoExploreConfig.scaled(interval_length=500))
+        )
+        proc = ClusteredProcessor(phased_trace, config16, rec)
+        proc.run()
+        strip = rec.render(len(phased_trace), width=32)
+        assert "clusters" in strip
+        body = strip.split("  (")[0]
+        assert len(body) == 32
+        assert set(body) <= {".", ":", "|", "#", "@"}
+
+    def test_render_empty(self):
+        rec = TimelineRecorder(StaticController(4))
+        assert rec.render(0) == ""

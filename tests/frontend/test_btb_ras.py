@@ -1,0 +1,71 @@
+"""BTB and return-address stack."""
+
+import pytest
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        assert btb.lookup(0x40) is None
+        btb.update(0x40, 0x100)
+        assert btb.lookup(0x40) == 0x100
+
+    def test_update_overwrites(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        btb.update(0x40, 0x100)
+        btb.update(0x40, 0x200)
+        assert btb.lookup(0x40) == 0x200
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(sets=4, assoc=2)
+        # three PCs mapping to set 0 (pc>>2 & 3 == 0)
+        a, b, c = 0x00, 0x10, 0x20
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.lookup(a)  # a becomes MRU
+        btb.update(c, 3)  # evicts b (LRU)
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+        assert btb.lookup(c) == 3
+
+    def test_different_sets_do_not_interfere(self):
+        btb = BranchTargetBuffer(sets=4, assoc=1)
+        btb.update(0x00, 1)
+        btb.update(0x04, 2)
+        assert btb.lookup(0x00) == 1
+        assert btb.lookup(0x04) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=3)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=4, assoc=0)
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+
+    def test_empty_pop_returns_none(self):
+        assert ReturnAddressStack(4).pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert len(ras) == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)

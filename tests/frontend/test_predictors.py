@@ -1,0 +1,101 @@
+"""Branch direction predictors: bimodal, two-level, combining."""
+
+import random
+
+import pytest
+
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.combining import CombiningPredictor
+from repro.frontend.twolevel import TwoLevelPredictor
+
+
+def _accuracy(pred, stream):
+    correct = 0
+    for pc, taken in stream:
+        if pred.predict(pc) == taken:
+            correct += 1
+        pred.update(pc, taken)
+    return correct / len(stream)
+
+
+def _biased_stream(pc, p_taken, n, seed=1):
+    rng = random.Random(seed)
+    return [(pc, rng.random() < p_taken) for _ in range(n)]
+
+
+def _pattern_stream(pc, period, n):
+    return [(pc, (i % period) != period - 1) for i in range(n)]
+
+
+class TestBimodal:
+    def test_learns_strong_bias(self):
+        assert _accuracy(BimodalPredictor(), _biased_stream(0x40, 0.98, 2000)) > 0.95
+
+    def test_learns_never_taken(self):
+        assert _accuracy(BimodalPredictor(), _biased_stream(0x40, 0.0, 500)) > 0.97
+
+    def test_cannot_learn_long_pattern(self):
+        acc = _accuracy(BimodalPredictor(), _pattern_stream(0x40, 8, 2000))
+        assert acc < 0.95  # misses the periodic not-taken
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(1000)
+
+    def test_independent_counters(self):
+        p = BimodalPredictor(16)
+        for _ in range(10):
+            p.update(0x00, True)
+            p.update(0x04, False)
+        assert p.predict(0x00) is True
+        assert p.predict(0x04) is False
+
+
+class TestTwoLevel:
+    def test_learns_pattern(self):
+        acc = _accuracy(TwoLevelPredictor(), _pattern_stream(0x40, 4, 4000))
+        assert acc > 0.97  # history makes the period predictable
+
+    def test_learns_bias(self):
+        assert _accuracy(TwoLevelPredictor(), _biased_stream(0x40, 0.99, 3000)) > 0.93
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(l1_size=1000)
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(l2_size=4097)
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=0)
+
+
+class TestCombining:
+    def test_beats_bimodal_on_patterns(self):
+        stream = _pattern_stream(0x40, 6, 5000)
+        comb = _accuracy(CombiningPredictor(), list(stream))
+        bim = _accuracy(BimodalPredictor(), list(stream))
+        assert comb > bim
+
+    def test_tracks_bias_like_bimodal(self):
+        assert _accuracy(CombiningPredictor(), _biased_stream(0x40, 0.97, 3000)) > 0.9
+
+    def test_chooser_size_validation(self):
+        with pytest.raises(ValueError):
+            CombiningPredictor(chooser_size=1000)
+
+    def test_from_config_uses_table1_sizes(self):
+        from repro.config import FrontEndConfig
+
+        pred = CombiningPredictor.from_config(FrontEndConfig())
+        assert pred.bimodal.size == 2048
+        assert pred.twolevel.l1_size == 1024
+        assert pred.twolevel.l2_size == 4096
+
+    def test_mixed_workload_accuracy(self):
+        """Interleaved biased + pattern branches: the tournament should
+        serve both site types well."""
+        rng = random.Random(3)
+        stream = []
+        for i in range(4000):
+            stream.append((0x100, rng.random() < 0.95))
+            stream.append((0x200, (i % 4) != 3))
+        assert _accuracy(CombiningPredictor(), stream) > 0.9

@@ -1,0 +1,123 @@
+"""Contention-aware network model."""
+
+import pytest
+
+from repro.config import InterconnectConfig
+from repro.interconnect.network import Network, build_topology
+from repro.interconnect.grid import GridTopology
+from repro.interconnect.ring import RingTopology
+from repro.stats import SimStats
+
+
+def _net(**kw):
+    return Network(InterconnectConfig(**kw), 16, SimStats())
+
+
+class TestFactory:
+    def test_ring(self):
+        assert isinstance(build_topology(InterconnectConfig(topology="ring"), 8), RingTopology)
+
+    def test_grid(self):
+        assert isinstance(build_topology(InterconnectConfig(topology="grid"), 16), GridTopology)
+
+
+class TestLatency:
+    def test_local_transfer_free(self):
+        net = _net()
+        assert net.transfer(3, 3, 100) == 100
+
+    def test_uncontended_latency_is_hops(self):
+        net = _net(model_contention=False)
+        assert net.transfer(0, 4, 10) == 14
+        assert net.transfer(0, 15, 10) == 11  # 1 hop around the ring
+
+    def test_hop_latency_scales(self):
+        net = _net(model_contention=False, hop_latency=2)
+        assert net.transfer(0, 4, 10) == 18
+
+    def test_contended_at_least_uncontended(self):
+        net = _net()
+        for d in range(1, 16):
+            assert net.transfer(0, d, 5) >= 5 + net.uncontended_latency(0, d)
+
+
+class TestContention:
+    def test_same_link_same_cycle_serializes(self):
+        net = _net()
+        a = net.transfer(0, 1, 10)
+        b = net.transfer(0, 1, 10)
+        assert a == 11
+        assert b == 12  # second transfer waits one cycle for the link
+
+    def test_different_links_independent(self):
+        net = _net()
+        a = net.transfer(0, 1, 10)
+        b = net.transfer(5, 6, 10)
+        assert a == b == 11
+
+    def test_out_of_order_requests_fill_gaps(self):
+        """A far-future booking must not starve earlier cycles."""
+        net = _net()
+        late = net.transfer(0, 1, 1000)
+        early = net.transfer(0, 1, 10)
+        assert late == 1001
+        assert early == 11
+
+    def test_reset_contention(self):
+        net = _net()
+        net.transfer(0, 1, 10)
+        net.reset_contention()
+        assert net.transfer(0, 1, 10) == 11
+
+    def test_bandwidth_two_allows_pairs(self):
+        net = _net(link_bandwidth=2)
+        assert net.transfer(0, 1, 10) == 11
+        assert net.transfer(0, 1, 10) == 11
+        assert net.transfer(0, 1, 10) == 12
+
+
+class TestIdealization:
+    def test_free_memory_communication(self):
+        net = _net(free_memory_communication=True)
+        assert net.transfer(0, 8, 10, kind="memory") == 10
+        assert net.transfer(0, 8, 10, kind="register") > 10
+
+    def test_free_register_communication(self):
+        net = _net(free_register_communication=True)
+        assert net.transfer(0, 8, 10, kind="register") == 10
+        assert net.transfer(0, 8, 10, kind="memory") > 10
+
+
+class TestStats:
+    def test_register_transfer_accounting(self):
+        stats = SimStats()
+        net = Network(InterconnectConfig(), 16, stats)
+        net.transfer(0, 4, 10, kind="register")
+        assert stats.register_transfers == 1
+        assert stats.register_transfer_cycles == 4
+
+    def test_memory_transfer_accounting(self):
+        stats = SimStats()
+        net = Network(InterconnectConfig(), 16, stats)
+        net.transfer(0, 2, 10, kind="memory")
+        assert stats.memory_transfers == 1
+        assert stats.memory_transfer_cycles == 2
+
+    def test_local_transfers_not_counted(self):
+        stats = SimStats()
+        net = Network(InterconnectConfig(), 16, stats)
+        net.transfer(5, 5, 10)
+        assert stats.register_transfers == 0
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all(self):
+        net = _net(model_contention=False)
+        worst = net.broadcast(0, 10, kind="memory")
+        assert worst == 10 + 8  # ring diameter
+
+    def test_broadcast_counts_transfers(self):
+        stats = SimStats()
+        net = Network(InterconnectConfig(), 16, stats)
+        net.broadcast(0, 10, kind="memory")
+        assert stats.memory_transfers == 15

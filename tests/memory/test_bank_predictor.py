@@ -1,0 +1,53 @@
+"""Two-level bank predictor (Yoaz et al. style)."""
+
+import pytest
+
+from repro.memory.bank_predictor import TwoLevelBankPredictor
+
+
+class TestBankPredictor:
+    def test_learns_constant_bank(self):
+        p = TwoLevelBankPredictor()
+        for _ in range(8):
+            p.update(0x40, 5)
+        assert p.predict(0x40) == 5
+
+    def test_learns_repeating_pattern(self):
+        """A strided access walking banks 0,1,2,3,0,1,... is learnable via
+        the per-PC bank history."""
+        p = TwoLevelBankPredictor(history_bits=8, max_banks=4)
+        pattern = [0, 1, 2, 3] * 60
+        correct = 0
+        for bank in pattern:
+            if p.predict(0x40) == bank:
+                correct += 1
+            p.update(0x40, bank)
+        assert correct / len(pattern) > 0.9
+
+    def test_low_bits_remain_correct_with_fewer_banks(self):
+        """Section 5: with 4 active clusters, prediction % 4 gives the bank."""
+        p = TwoLevelBankPredictor(max_banks=16)
+        for _ in range(8):
+            p.update(0x40, 13)
+        assert p.predict(0x40) % 4 == 13 % 4 == 1
+
+    def test_update_validates_bank(self):
+        p = TwoLevelBankPredictor(max_banks=16)
+        with pytest.raises(ValueError):
+            p.update(0x40, 16)
+        with pytest.raises(ValueError):
+            p.update(0x40, -1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelBankPredictor(l1_size=1000)
+        with pytest.raises(ValueError):
+            TwoLevelBankPredictor(l2_size=1000)
+
+    def test_distinct_pcs_learn_distinct_banks(self):
+        p = TwoLevelBankPredictor()
+        for _ in range(8):
+            p.update(0x40, 2)
+            p.update(0x80, 9)
+        assert p.predict(0x40) == 2
+        assert p.predict(0x80) == 9

@@ -1,0 +1,93 @@
+"""Set-associative cache and bank scheduler."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import BankScheduler, SetAssocCache
+
+
+def _cache(size=1024, assoc=2, line=32):
+    return SetAssocCache(CacheConfig(size=size, assoc=assoc, line_size=line))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert not c.access(0x100, False).hit
+        assert c.access(0x100, False).hit
+
+    def test_same_line_hits(self):
+        c = _cache(line=32)
+        c.access(0x100, False)
+        assert c.access(0x11F, False).hit
+        assert not c.access(0x120, False).hit
+
+    def test_lru_eviction(self):
+        c = _cache(size=128, assoc=2, line=32)  # 2 sets
+        # three lines mapping to set 0: line numbers 0, 2, 4 (addr 0, 64, 128)
+        c.access(0, False)
+        c.access(64, False)
+        c.access(0, False)  # 0 is MRU
+        c.access(128, False)  # evicts 64
+        assert c.access(0, False).hit
+        assert not c.access(64, False).hit
+
+    def test_dirty_writeback_on_eviction(self):
+        c = _cache(size=128, assoc=1, line=32)  # 4 sets, direct mapped
+        c.access(0, True)  # dirty
+        result = c.access(128, False)  # same set, evicts dirty line
+        assert result.writeback
+
+    def test_clean_eviction_no_writeback(self):
+        c = _cache(size=128, assoc=1, line=32)
+        c.access(0, False)
+        assert not c.access(128, False).writeback
+
+    def test_flush_counts_dirty_lines(self):
+        c = _cache()
+        c.access(0x000, True)
+        c.access(0x100, True)
+        c.access(0x200, False)
+        assert c.flush() == 2
+        assert c.resident_lines == 0
+        assert not c.access(0x000, False).hit  # cold after flush
+
+    def test_probe_is_non_destructive(self):
+        c = _cache()
+        assert not c.probe(0x40)
+        assert not c.access(0x40, False).hit  # probe did not allocate
+        assert c.probe(0x40)
+
+    def test_write_marks_dirty(self):
+        c = _cache(size=64, assoc=1, line=32)  # 2 sets
+        c.access(0, False)
+        c.access(0, True)
+        assert c.flush() == 1
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(CacheConfig(size=16, assoc=2, line_size=32))
+
+
+class TestBankScheduler:
+    def test_single_port_serializes(self):
+        b = BankScheduler(banks=2)
+        assert b.reserve(0, 5) == 5
+        assert b.reserve(0, 5) == 6
+        assert b.reserve(1, 5) == 5
+
+    def test_two_ports(self):
+        b = BankScheduler(banks=1, ports_per_bank=2)
+        assert b.reserve(0, 5) == 5
+        assert b.reserve(0, 5) == 5
+        assert b.reserve(0, 5) == 6
+
+    def test_reset(self):
+        b = BankScheduler(banks=1)
+        b.reserve(0, 5)
+        b.reset()
+        assert b.reserve(0, 5) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankScheduler(0)

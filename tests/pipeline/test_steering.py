@@ -1,0 +1,159 @@
+"""Instruction steering heuristics."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.clusters.cluster import Cluster
+from repro.clusters.criticality import CriticalityPredictor
+from repro.clusters.steering import (
+    FirstFitSteering,
+    ModNSteering,
+    ProducerSteering,
+)
+from repro.workloads.instruction import Instr, OpClass
+
+
+def _clusters(n=4, iq=4, regs=8):
+    cfg = ClusterConfig(issue_queue_size=iq, regfile_size=regs)
+    return [Cluster(i, cfg) for i in range(n)]
+
+
+def _alu(pc=0x40):
+    return Instr(0, pc, OpClass.INT_ALU, src1=1, src2=2)
+
+
+def _fill(cluster, count, op=OpClass.INT_ALU):
+    for _ in range(count):
+        cluster.allocate(object(), op, needs_reg=True)
+
+
+class TestProducerSteering:
+    def test_follows_single_producer(self):
+        clusters = _clusters()
+        steer = ProducerSteering(clusters)
+        assert steer.choose(_alu(), [(0, 2)], active=4) == 2
+
+    def test_majority_of_producers_wins(self):
+        clusters = _clusters()
+        steer = ProducerSteering(clusters)
+        # both operands produced in cluster 3
+        assert steer.choose(_alu(), [(0, 3), (1, 3)], active=4) == 3
+
+    def test_criticality_breaks_ties(self):
+        clusters = _clusters()
+        crit = CriticalityPredictor()
+        steer = ProducerSteering(clusters, crit)
+        pc = 0x80
+        # train: operand 1 is critical for this pc
+        for _ in range(4):
+            crit.update(pc, 1)
+        instr = Instr(0, pc, OpClass.INT_ALU, src1=1, src2=2)
+        chosen = steer.choose(instr, [(0, 1), (1, 3)], active=4)
+        assert chosen == 3
+
+    def test_no_producers_goes_least_loaded(self):
+        clusters = _clusters()
+        _fill(clusters[0], 3)
+        _fill(clusters[1], 1)
+        steer = ProducerSteering(clusters)
+        assert steer.choose(_alu(), [], active=4) in (2, 3)
+
+    def test_imbalance_override(self):
+        clusters = _clusters(iq=8)
+        steer = ProducerSteering(clusters, imbalance_threshold=2)
+        _fill(clusters[1], 5)  # producer cluster heavily loaded
+        chosen = steer.choose(_alu(), [(0, 1)], active=4)
+        assert chosen != 1
+
+    def test_within_threshold_keeps_producer(self):
+        clusters = _clusters(iq=8)
+        steer = ProducerSteering(clusters, imbalance_threshold=4)
+        _fill(clusters[1], 3)
+        assert steer.choose(_alu(), [(0, 1)], active=4) == 1
+
+    def test_respects_active_subset(self):
+        clusters = _clusters(n=8)
+        steer = ProducerSteering(clusters)
+        # producer lives in a disabled cluster
+        chosen = steer.choose(_alu(), [(0, 6)], active=4)
+        assert chosen is not None and chosen < 4
+
+    def test_stalls_when_nothing_feasible(self):
+        clusters = _clusters(n=2, iq=1)
+        for c in clusters:
+            _fill(c, 1)
+        steer = ProducerSteering(clusters)
+        assert steer.choose(_alu(), [], active=2) is None
+
+    def test_bank_preference_wins(self):
+        clusters = _clusters()
+        steer = ProducerSteering(clusters)
+        load = Instr(0, 0x40, OpClass.LOAD, src1=1, addr=0x100)
+        assert steer.choose(load, [(0, 0)], active=4, preferred=2) == 2
+
+    def test_infeasible_preference_falls_through(self):
+        clusters = _clusters(iq=1)
+        _fill(clusters[2], 1)
+        steer = ProducerSteering(clusters)
+        load = Instr(0, 0x40, OpClass.LOAD, src1=1, addr=0x100)
+        chosen = steer.choose(load, [], active=4, preferred=2)
+        assert chosen is not None and chosen != 2
+
+
+class TestModN:
+    def test_groups_of_n(self):
+        clusters = _clusters(iq=8)
+        steer = ModNSteering(clusters, n=2)
+        picks = [steer.choose(_alu(), [], active=4) for _ in range(6)]
+        assert picks == [0, 0, 1, 1, 2, 2]
+
+    def test_wraps_around(self):
+        clusters = _clusters(iq=16)
+        steer = ModNSteering(clusters, n=1)
+        picks = [steer.choose(_alu(), [], active=2) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_skips_full_cluster(self):
+        clusters = _clusters(iq=1)
+        steer = ModNSteering(clusters, n=4)
+        _fill(clusters[0], 1)
+        assert steer.choose(_alu(), [], active=4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModNSteering(_clusters(), n=0)
+
+
+class TestFirstFit:
+    def test_fills_lowest_first(self):
+        clusters = _clusters(iq=2)
+        steer = FirstFitSteering(clusters)
+        picks = [None] * 4
+        for i in range(4):
+            picks[i] = steer.choose(_alu(), [], active=4)
+            clusters[picks[i]].allocate(object(), OpClass.INT_ALU, True)
+        assert picks == [0, 0, 1, 1]
+
+    def test_stall_when_all_full(self):
+        clusters = _clusters(n=2, iq=1)
+        steer = FirstFitSteering(clusters)
+        for c in clusters:
+            _fill(c, 1)
+        assert steer.choose(_alu(), [], active=2) is None
+
+
+class TestCriticalityPredictor:
+    def test_learns_critical_operand(self):
+        crit = CriticalityPredictor()
+        for _ in range(4):
+            crit.update(0x40, 1)
+        assert crit.predict_critical_operand(0x40) == 1
+        for _ in range(6):
+            crit.update(0x40, 0)
+        assert crit.predict_critical_operand(0x40) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CriticalityPredictor(100)
+        with pytest.raises(ValueError):
+            CriticalityPredictor().update(0, 2)

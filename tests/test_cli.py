@@ -1,0 +1,79 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _make_controller, _parse_benchmarks, build_parser, main
+from repro.core import (
+    DistantILPController,
+    FineGrainController,
+    IntervalExploreController,
+    StaticController,
+    SubroutineController,
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip"])
+        assert args.benchmark == "gzip"
+        assert args.clusters == 16
+        assert args.machine == "ring"
+
+    def test_exhibit_args(self):
+        args = build_parser().parse_args(["figure3", "--benchmarks", "gzip,swim"])
+        assert args.benchmarks == "gzip,swim"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake"])
+
+
+class TestHelpers:
+    def test_controller_factory(self):
+        assert isinstance(_make_controller("static", 4), StaticController)
+        assert isinstance(_make_controller("explore", 4), IntervalExploreController)
+        assert isinstance(_make_controller("no-explore", 4), DistantILPController)
+        assert isinstance(_make_controller("finegrain", 4), FineGrainController)
+        assert isinstance(_make_controller("subroutine", 4), SubroutineController)
+        with pytest.raises(ValueError):
+            _make_controller("oracle", 4)
+
+    def test_parse_benchmarks(self):
+        assert len(_parse_benchmarks("")) == 9
+        assert _parse_benchmarks("gzip, swim") == ("gzip", "swim")
+        with pytest.raises(SystemExit):
+            _parse_benchmarks("gzip,quake")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "swim" in out
+
+    def test_run_static(self, capsys):
+        rc = main(["run", "gzip", "--length", "4000", "--warmup", "500",
+                   "--clusters", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_run_monolithic(self, capsys):
+        rc = main(["run", "swim", "--length", "4000", "--warmup", "500",
+                   "--machine", "monolithic"])
+        assert rc == 0
+
+    def test_exhibit_subset(self, capsys):
+        rc = main(["figure3", "--benchmarks", "gzip", "--length", "4000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "gzip" in out
+
+    def test_table3_subset(self, capsys):
+        rc = main(["table3", "--benchmarks", "swim", "--length", "4000"])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Leakage-energy accounting."""
+
+import pytest
+
+from repro import StaticController, default_config, simulate
+from repro.energy import EnergyModel, compare_energy, leakage_savings
+from repro.stats import SimStats
+
+
+class TestModel:
+    def _stats(self, cycles=100, committed=200, active=4):
+        s = SimStats(cycles=cycles, committed=committed)
+        s.cluster_cycle_product = active * cycles
+        return s
+
+    def test_leakage_scales_with_active_clusters(self):
+        model = EnergyModel()
+        few = self._stats(active=4)
+        many = self._stats(active=16)
+        assert model.leakage(many) > model.leakage(few)
+
+    def test_dynamic_scales_with_work(self):
+        model = EnergyModel()
+        small = self._stats(committed=100)
+        large = self._stats(committed=1000)
+        assert model.dynamic(large) > model.dynamic(small)
+
+    def test_epi_zero_guard(self):
+        assert EnergyModel().energy_per_committed_instruction(SimStats()) == 0.0
+
+    def test_transfer_energy_counted(self):
+        model = EnergyModel()
+        s = self._stats()
+        base = model.dynamic(s)
+        s.register_transfer_cycles = 50
+        assert model.dynamic(s) == base + 50 * model.energy_per_transfer_cycle
+
+
+class TestLeakageSavings:
+    def test_half_active_is_half_saved(self):
+        s = SimStats(cycles=100)
+        s.cluster_cycle_product = 8 * 100
+        assert leakage_savings(s, 16) == pytest.approx(0.5)
+
+    def test_all_active_saves_nothing(self):
+        s = SimStats(cycles=100)
+        s.cluster_cycle_product = 16 * 100
+        assert leakage_savings(s, 16) == 0.0
+
+    def test_zero_cycles_guard(self):
+        assert leakage_savings(SimStats(), 16) == 0.0
+
+
+class TestEndToEnd:
+    def test_fewer_clusters_cost_less_leakage(self, serial_trace, config16):
+        narrow = simulate(serial_trace, config16, StaticController(4))
+        wide = simulate(serial_trace, config16, StaticController(16))
+        report = compare_energy(wide, narrow, total_clusters=16)
+        assert report["leakage_savings"] > 0.7  # 12 of 16 clusters gated
+        assert report["epi_ratio"] < 1.0  # same work, less energy
+
+    def test_compare_keys(self, serial_trace, config16):
+        a = simulate(serial_trace, config16, StaticController(8))
+        report = compare_energy(a, a, total_clusters=16)
+        assert set(report) == {
+            "baseline_epi", "tuned_epi", "leakage_savings", "epi_ratio",
+        }
+        assert report["epi_ratio"] == pytest.approx(1.0)

@@ -1,0 +1,21 @@
+"""Error hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError, SimulationError, WorkloadError
+
+
+def test_hierarchy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(WorkloadError, ReproError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise ConfigError("bad config")
+
+
+def test_distinct_types():
+    assert not issubclass(ConfigError, SimulationError)
+    assert not issubclass(WorkloadError, ConfigError)

@@ -1,0 +1,127 @@
+"""Cross-module integration: controllers on live pipelines, the paper's
+qualitative claims at test scale."""
+
+import pytest
+
+from repro import (
+    DistantILPController,
+    ExploreConfig,
+    FineGrainController,
+    IntervalExploreController,
+    NoExploreConfig,
+    StaticController,
+    SubroutineController,
+    decentralized_config,
+    default_config,
+    grid_config,
+    simulate,
+)
+from repro.core.finegrain import FineGrainConfig
+from repro.experiments.runner import run_trace
+from repro.pipeline.processor import ClusteredProcessor
+
+
+class TestDynamicControllersLive:
+    def test_explore_adapts_on_phased_program(self, phased_trace, config16):
+        ctrl = IntervalExploreController(
+            ExploreConfig.scaled(initial_interval=400)
+        )
+        proc = ClusteredProcessor(phased_trace, config16, ctrl)
+        proc.run()
+        assert proc.stats.committed == len(phased_trace)
+        assert proc.stats.reconfigurations > 0
+        assert ctrl.choice_counts  # it settled on configurations
+
+    def test_noexplore_picks_large_for_parallel(self, parallel_trace, config16):
+        ctrl = DistantILPController(NoExploreConfig.scaled(interval_length=500))
+        proc = ClusteredProcessor(parallel_trace, config16, ctrl)
+        proc.run()
+        counts = ctrl.choice_counts
+        assert counts.get(16, 0) > counts.get(4, 0)
+
+    def test_noexplore_picks_small_for_serial(self, serial_trace, config16):
+        ctrl = DistantILPController(NoExploreConfig.scaled(interval_length=500))
+        proc = ClusteredProcessor(serial_trace, config16, ctrl)
+        proc.run()
+        counts = ctrl.choice_counts
+        assert counts.get(4, 0) > counts.get(16, 0)
+
+    def test_noexplore_near_best_static(self, parallel_trace, config16):
+        best = run_trace(parallel_trace, config16, StaticController(16), warmup=1500)
+        dyn = run_trace(
+            parallel_trace, config16,
+            DistantILPController(NoExploreConfig.scaled(interval_length=500)),
+            warmup=1500,
+        )
+        assert dyn.ipc >= best.ipc * 0.9
+
+    def test_finegrain_runs_and_learns(self, phased_trace, config16):
+        ctrl = FineGrainController(
+            FineGrainConfig(samples_needed=3, distant_threshold=58)
+        )
+        proc = ClusteredProcessor(phased_trace, config16, ctrl)
+        proc.run()
+        assert proc.stats.committed == len(phased_trace)
+        assert ctrl.table_hits > 0
+        assert len(ctrl.table) > 0
+
+    def test_subroutine_controller_on_benchmark(self, gzip_trace, config16):
+        stats = simulate(gzip_trace, config16, SubroutineController())
+        assert stats.committed == len(gzip_trace)
+
+
+class TestDecentralizedIntegration:
+    def test_reconfiguration_with_flushes(self, phased_trace):
+        config = decentralized_config(16)
+        ctrl = DistantILPController(NoExploreConfig.scaled(interval_length=500))
+        proc = ClusteredProcessor(phased_trace, config, ctrl)
+        proc.run()
+        assert proc.stats.committed == len(phased_trace)
+        if proc.stats.reconfigurations:
+            assert proc.stats.cache_flushes > 0
+
+    def test_bank_prediction_learns_on_strided_code(self, parallel_trace):
+        stats = simulate(parallel_trace, decentralized_config(16))
+        assert stats.bank_predictions > 0
+        assert stats.bank_prediction_accuracy > 0.5
+
+    def test_store_broadcasts_happen(self, parallel_trace):
+        stats = simulate(parallel_trace, decentralized_config(16))
+        assert stats.store_broadcasts == stats.stores
+
+
+class TestInterconnectIntegration:
+    def test_grid_beats_ring_at_16_clusters(self, parallel_trace):
+        """Section 6: better connectivity makes 16 clusters less
+        communication bound."""
+        ring = run_trace(parallel_trace, default_config(16), warmup=1500)
+        grid = run_trace(parallel_trace, grid_config(16), warmup=1500)
+        assert grid.ipc >= ring.ipc * 0.97
+
+    def test_double_hop_latency_hurts(self, parallel_trace):
+        import dataclasses
+
+        base = default_config(16)
+        slow = base.with_interconnect(
+            dataclasses.replace(base.interconnect, hop_latency=2)
+        )
+        fast = run_trace(parallel_trace, base, warmup=1500)
+        slowr = run_trace(parallel_trace, slow, warmup=1500)
+        assert slowr.ipc < fast.ipc
+
+
+class TestIdealizationIntegration:
+    def test_free_communication_helps_16_clusters(self, parallel_trace):
+        import dataclasses
+
+        base = default_config(16)
+        free = base.with_interconnect(
+            dataclasses.replace(
+                base.interconnect,
+                free_memory_communication=True,
+                free_register_communication=True,
+            )
+        )
+        real = run_trace(parallel_trace, base, warmup=1500)
+        ideal = run_trace(parallel_trace, free, warmup=1500)
+        assert ideal.ipc > real.ipc * 1.05

@@ -1,0 +1,82 @@
+"""Cluster partitioning between threads."""
+
+import pytest
+
+from repro.partition import ScalingCurve, best_partition, measure_scaling, partition_report
+
+
+def _flat(name="flat", ipc=1.0):
+    return ScalingCurve(name, {2: ipc, 4: ipc, 8: ipc, 16: ipc})
+
+
+def _scaling(name="scaling"):
+    return ScalingCurve(name, {2: 0.5, 4: 1.0, 8: 1.8, 16: 2.4})
+
+
+class TestScalingCurve:
+    def test_at_uses_largest_fitting_allocation(self):
+        c = _scaling()
+        assert c.at(16) == 2.4
+        assert c.at(10) == 1.8  # runs the 8-cluster configuration
+        assert c.at(3) == 0.5
+        assert c.at(1) == 0.0
+
+    def test_best_allocation(self):
+        assert _scaling().best_allocation == 16
+
+    def test_saturation(self):
+        c = ScalingCurve("s", {2: 1.0, 4: 1.99, 8: 2.0, 16: 2.0})
+        assert c.saturation_allocation == 4
+
+
+class TestBestPartition:
+    def test_serial_plus_parallel(self):
+        """A saturating thread should cede clusters to a scaling one."""
+        serial = ScalingCurve("serial", {2: 0.8, 4: 0.85, 8: 0.85, 16: 0.85})
+        parallel = ScalingCurve(
+            "parallel", {2: 0.5, 4: 1.0, 8: 1.8, 12: 2.1, 16: 2.4}
+        )
+        split, value = best_partition([serial, parallel], 16)
+        assert split[1] > split[0]  # the scaling thread gets the larger share
+        assert value > serial.at(8) + parallel.at(8)  # beats the even split
+
+    def test_two_flat_threads_any_split(self):
+        split, value = best_partition([_flat("a"), _flat("b")], 16)
+        assert sum(split) == 16
+        assert value == pytest.approx(2.0)
+
+    def test_single_thread_gets_everything(self):
+        split, value = best_partition([_scaling()], 16)
+        assert split == (16,)
+        assert value == 2.4
+
+    def test_three_way(self):
+        split, value = best_partition([_flat("a"), _flat("b"), _scaling()], 16)
+        assert sum(split) == 16
+        assert len(split) == 3
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            best_partition([_flat(str(i)) for i in range(9)], 16, granularity=2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_partition([], 16)
+
+    def test_custom_objective(self):
+        # maximize the minimum thread's IPC instead of the sum
+        serial = ScalingCurve("serial", {2: 0.2, 4: 0.5, 8: 0.9, 16: 1.0})
+        parallel = _scaling()
+        split, _ = best_partition([serial, parallel], 16, objective=min)
+        assert split[0] >= 8  # fairness pushes clusters to the weak thread
+
+
+class TestIntegration:
+    def test_measure_scaling_from_simulation(self, parallel_trace):
+        curve = measure_scaling(parallel_trace, allocations=(4, 16), warmup=1500)
+        assert set(curve.ipc) == {4, 16}
+        assert curve.ipc[16] > curve.ipc[4]
+
+    def test_report_format(self):
+        text = partition_report([_flat("alpha"), _scaling()], 16)
+        assert "alpha" in text and "combined IPC" in text

@@ -1,0 +1,90 @@
+"""Statistics containers and interval tracking."""
+
+import pytest
+
+from repro.stats import IntervalRecord, IntervalTracker, SimStats, merge_records
+
+
+class TestSimStats:
+    def test_ipc(self):
+        s = SimStats(cycles=100, committed=250)
+        assert s.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_mispredict_interval(self):
+        s = SimStats(committed=1000, mispredicts=10)
+        assert s.mispredict_interval == 100
+        assert SimStats(committed=100).mispredict_interval == float("inf")
+
+    def test_branch_accuracy(self):
+        s = SimStats(branches=100, mispredicts=5)
+        assert s.branch_accuracy == 0.95
+        assert SimStats().branch_accuracy == 1.0
+
+    def test_l1_hit_rate(self):
+        s = SimStats(l1_hits=90, l1_misses=10)
+        assert s.l1_hit_rate == 0.9
+
+    def test_avg_register_transfer_latency(self):
+        s = SimStats(register_transfers=4, register_transfer_cycles=18)
+        assert s.avg_register_transfer_latency == 4.5
+        assert SimStats().avg_register_transfer_latency == 0.0
+
+    def test_avg_active_clusters(self):
+        s = SimStats(cycles=10, cluster_cycle_product=40)
+        assert s.avg_active_clusters == 4.0
+
+    def test_bank_prediction_accuracy(self):
+        s = SimStats(bank_predictions=100, bank_mispredictions=20)
+        assert s.bank_prediction_accuracy == 0.8
+
+    def test_snapshot_keys(self):
+        snap = SimStats(cycles=10, committed=20).snapshot()
+        assert snap["ipc"] == 2.0
+        assert "l1_hit_rate" in snap and "reconfigurations" in snap
+
+
+class TestIntervalTracker:
+    def test_deltas(self):
+        s = SimStats()
+        t = IntervalTracker(s)
+        s.committed += 100
+        s.cycles += 50
+        s.branches += 10
+        s.memrefs += 30
+        s.distant_commits += 5
+        w = t.since_last()
+        assert (w.committed, w.cycles, w.branches, w.memrefs, w.distant_commits) == (
+            100, 50, 10, 30, 5,
+        )
+        assert w.ipc == 2.0
+
+    def test_consecutive_windows_independent(self):
+        s = SimStats()
+        t = IntervalTracker(s)
+        s.committed += 100
+        s.cycles += 100
+        t.since_last()
+        s.committed += 60
+        s.cycles += 20
+        w = t.since_last()
+        assert w.committed == 60 and w.cycles == 20
+
+    def test_committed_since_last(self):
+        s = SimStats()
+        t = IntervalTracker(s)
+        s.committed += 42
+        assert t.committed_since_last() == 42
+
+
+class TestIntervalRecord:
+    def test_ipc(self):
+        assert IntervalRecord(100, 50, 1, 2).ipc == 2.0
+        assert IntervalRecord(100, 0, 1, 2).ipc == 0.0
+
+    def test_merge_drops_tail_remainder(self):
+        records = [IntervalRecord(10, 5, 1, 2)] * 7
+        merged = merge_records(records, 3)
+        assert len(merged) == 2  # 7 // 3

@@ -1,0 +1,83 @@
+"""Address-stream generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.addresses import (
+    HotColdStream,
+    PointerChaseStream,
+    StridedStream,
+    WorkingSetStream,
+)
+
+
+class TestStrided:
+    def test_sequence_and_wrap(self):
+        s = StridedStream(base=100, stride=8, extent=32)
+        addrs = [s.next_address() for _ in range(6)]
+        assert addrs == [100, 108, 116, 124, 100, 108]
+
+    def test_negative_stride(self):
+        s = StridedStream(base=0, stride=-4, extent=16)
+        a = [s.next_address() for _ in range(4)]
+        assert a[0] == 0
+        assert all(0 <= x < 16 for x in a[1:])
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            StridedStream(0, 0, 16)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ValueError):
+            StridedStream(0, 4, 0)
+
+
+class TestWorkingSet:
+    def test_bounds_and_alignment(self):
+        rng = random.Random(1)
+        s = WorkingSetStream(base=0x1000, size=256, rng=rng, align=4)
+        for _ in range(200):
+            a = s.next_address()
+            assert 0x1000 <= a < 0x1000 + 256
+            assert a % 4 == 0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkingSetStream(0, 0, random.Random(1))
+
+
+class TestPointerChase:
+    def test_cyclic_permutation(self):
+        rng = random.Random(2)
+        s = PointerChaseStream(base=0, nodes=8, node_size=64, rng=rng)
+        first_pass = [s.next_address() for _ in range(8)]
+        second_pass = [s.next_address() for _ in range(8)]
+        assert sorted(first_pass) == [i * 64 for i in range(8)]
+        assert first_pass == second_pass  # the sequence repeats exactly
+
+    def test_single_node(self):
+        s = PointerChaseStream(0, 1, 64, random.Random(3))
+        assert s.next_address() == s.next_address() == 0
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PointerChaseStream(0, 0, 64, random.Random(1))
+
+
+class TestHotCold:
+    def test_distribution(self):
+        rng = random.Random(4)
+        s = HotColdStream(base=0, hot_size=64, cold_size=4096, hot_prob=0.9, rng=rng)
+        hot = sum(1 for _ in range(2000) if s.next_address() < 64)
+        assert 0.85 < hot / 2000 < 0.95
+
+    def test_cold_addresses_beyond_hot(self):
+        rng = random.Random(5)
+        s = HotColdStream(base=0, hot_size=64, cold_size=256, hot_prob=0.0, rng=rng)
+        for _ in range(100):
+            assert 64 <= s.next_address() < 64 + 256
+
+    def test_bad_prob_rejected(self):
+        with pytest.raises(ValueError):
+            HotColdStream(0, 64, 256, 1.5, random.Random(1))

@@ -1,0 +1,183 @@
+"""Static loop-body construction."""
+
+import random
+
+import pytest
+
+from repro.workloads.blocks import BranchSite, PhaseParams, build_loop_body
+from repro.workloads.instruction import OpClass
+
+
+class TestBranchSite:
+    def test_biased_outcomes(self):
+        site = BranchSite(0, "biased", 1.0, random.Random(1))
+        assert all(site.next_outcome() for _ in range(50))
+        site = BranchSite(0, "biased", 0.0, random.Random(1))
+        assert not any(site.next_outcome() for _ in range(50))
+
+    def test_pattern_period(self):
+        site = BranchSite(0, "pattern", 4, random.Random(1))
+        outcomes = [site.next_outcome() for _ in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_noisy_rate(self):
+        site = BranchSite(0, "noisy", 1.0, random.Random(2), noise=0.5)
+        taken = sum(site.next_outcome() for _ in range(4000))
+        # expected taken = 0.5*1.0 + 0.5*0.5 = 0.75
+        assert 0.70 < taken / 4000 < 0.80
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BranchSite(0, "chaotic", 0.5, random.Random(1))
+
+    def test_bad_noise_rejected(self):
+        with pytest.raises(ValueError):
+            BranchSite(0, "noisy", 0.5, random.Random(1), noise=2.0)
+
+
+class TestPhaseParams:
+    def test_defaults_valid(self):
+        PhaseParams()
+
+    def test_tiny_body_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseParams(body_size=1)
+
+    def test_bad_cross_dep_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseParams(cross_iter_dep=1.5)
+
+    def test_bad_mem_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseParams(mem_pattern="zigzag")
+
+
+class TestBuildLoopBody:
+    def _body(self, **kw):
+        params = PhaseParams(name="t", body_size=24, inner_branches=2,
+                             frac_load=0.3, frac_store=0.1, **kw)
+        return build_loop_body(params, pc_base=0x1000, rng=random.Random(3),
+                               data_base=0x100000)
+
+    def test_segment_structure(self):
+        body = self._body()
+        assert len(body.segments) == 3  # inner_branches + 1
+        assert len(body.branch_sites) == 2
+
+    def test_pcs_unique_and_ordered(self):
+        body = self._body()
+        pcs = [i.pc for seg in body.segments for i in seg]
+        pcs += [s.pc for s in body.branch_sites]
+        pcs += [body.call_pc, body.loop_branch.pc]
+        assert len(set(pcs)) == len(pcs)
+
+    def test_slots_unique(self):
+        body = self._body()
+        slots = [i.slot for seg in body.segments for i in seg]
+        slots += [i.slot for i in body.callee]
+        assert len(set(slots)) == len(slots)
+
+    def test_memory_sites_have_streams(self):
+        body = self._body()
+        for seg in body.segments:
+            for instr in seg:
+                if instr.op in (OpClass.LOAD, OpClass.STORE):
+                    assert instr.stream is not None
+                else:
+                    assert instr.stream is None
+
+    def test_footprint_divided_among_sites(self):
+        """The phase working set is a total, not per-site."""
+        params = PhaseParams(name="t", body_size=30, frac_load=0.4,
+                             frac_store=0.1, working_set=64 * 1024,
+                             mem_pattern="strided")
+        body = build_loop_body(params, 0x1000, random.Random(4), 0x100000)
+        streams = [
+            i.stream for seg in body.segments for i in seg if i.stream is not None
+        ]
+        assert streams
+        total = sum(s.extent for s in streams)
+        # total footprint within 2x of the requested working set
+        assert total <= 2 * params.working_set
+
+    def test_pattern_site_allocation(self):
+        params = PhaseParams(name="t", body_size=24, inner_branches=4,
+                             pattern_branch_frac=0.5)
+        body = build_loop_body(params, 0x1000, random.Random(5), 0x100000)
+        kinds = [s.kind for s in body.branch_sites]
+        assert kinds.count("pattern") == 2
+        assert all(k in ("pattern", "noisy") for k in kinds)
+
+    def test_callee_layout(self):
+        body = self._body()
+        assert body.loop_branch.pc == body.call_pc + 4
+        if body.callee:
+            # returns land on the instruction after the call
+            assert body.callee[0].pc != body.call_pc
+
+
+class TestDeterministicMix:
+    def test_op_counts_stable_across_seeds(self):
+        """The op mix uses exact counts, so the number of memory sites (and
+        with it the data footprint) must not vary with the seed."""
+        import random as _random
+
+        params = PhaseParams(name="t", body_size=30, frac_load=0.3, frac_store=0.1)
+        counts = set()
+        for seed in range(6):
+            body = build_loop_body(params, 0x1000, _random.Random(seed), 0x100000)
+            n_mem = sum(
+                1 for seg in body.segments for i in seg
+                if i.op in (OpClass.LOAD, OpClass.STORE)
+            )
+            counts.add(n_mem)
+        assert len(counts) == 1
+
+    def test_fp_fraction_exact(self):
+        import random as _random
+
+        params = PhaseParams(name="t", body_size=40, frac_fp=0.5,
+                             frac_load=0.2, frac_store=0.1, inner_branches=1)
+        body = build_loop_body(params, 0x1000, _random.Random(1), 0x100000)
+        ops = [i.op for seg in body.segments for i in seg]
+        fp = sum(1 for op in ops if op in (OpClass.FP_ALU, OpClass.FP_MUL))
+        compute = sum(
+            1 for op in ops if op not in (OpClass.LOAD, OpClass.STORE)
+        )
+        assert fp == round(0.5 * compute)
+
+
+class TestStencilSharing:
+    def test_strided_loads_share_regions(self):
+        """Groups of up to three strided load sites walk the same array at
+        neighbouring offsets (cache-line sharing, like a[i-1], a[i], a[i+1])."""
+        import random as _random
+
+        params = PhaseParams(name="t", body_size=30, frac_load=0.4,
+                             frac_store=0.0, mem_pattern="strided",
+                             working_set=32 * 1024, stride=8)
+        body = build_loop_body(params, 0x1000, _random.Random(2), 0x100000)
+        loads = [
+            i.stream for seg in body.segments for i in seg
+            if i.op is OpClass.LOAD
+        ]
+        assert len(loads) >= 3
+        bases = sorted(s.base for s in loads)
+        # at least one pair of sites within a stencil's offset range
+        gaps = [b - a for a, b in zip(bases, bases[1:])]
+        assert any(g <= 2 * 8 for g in gaps)
+
+    def test_random_pattern_keeps_private_regions(self):
+        import random as _random
+
+        params = PhaseParams(name="t", body_size=30, frac_load=0.4,
+                             frac_store=0.0, mem_pattern="random",
+                             working_set=32 * 1024)
+        body = build_loop_body(params, 0x1000, _random.Random(2), 0x100000)
+        loads = [
+            i.stream for seg in body.segments for i in seg
+            if i.op is OpClass.LOAD
+        ]
+        bases = sorted(s.base for s in loads)
+        gaps = [b - a for a, b in zip(bases, bases[1:])]
+        assert all(g > 256 for g in gaps)

@@ -1,0 +1,74 @@
+"""The nine benchmark profiles."""
+
+import pytest
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    DISTANT_ILP_BENCHMARKS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    all_profiles,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_nine_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 9
+        assert set(BENCHMARK_NAMES) == set(PAPER_TABLE3) == set(PAPER_TABLE4)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("quake")
+
+    def test_all_profiles_builds_everything(self):
+        profiles = all_profiles()
+        assert set(profiles) == set(BENCHMARK_NAMES)
+        for name, p in profiles.items():
+            assert p.name == name
+            assert p.phases
+
+    def test_distant_ilp_subset(self):
+        assert set(DISTANT_ILP_BENCHMARKS) <= set(BENCHMARK_NAMES)
+        assert "djpeg" in DISTANT_ILP_BENCHMARKS
+        assert "vpr" not in DISTANT_ILP_BENCHMARKS
+
+
+class TestCharacteristics:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_traces_generate(self, name):
+        t = generate_trace(get_profile(name), 4_000, seed=1)
+        assert len(t) == 4_000
+        assert t.branch_count > 0
+        assert t.memref_count > 0
+
+    def test_fp_benchmarks_have_fp_work(self):
+        for name in ("swim", "mgrid", "galgel"):
+            t = generate_trace(get_profile(name), 5_000, seed=1)
+            assert t.fp_fraction > 0.2, name
+
+    def test_int_benchmarks_have_little_fp(self):
+        for name in ("gzip", "vpr", "parser", "crafty"):
+            t = generate_trace(get_profile(name), 5_000, seed=1)
+            assert t.fp_fraction < 0.05, name
+
+    def test_fp_codes_branch_rarely(self):
+        """swim/mgrid have mispredict intervals in the thousands because
+        they barely branch; the integer codes branch every ~5 instrs."""
+        swim = generate_trace(get_profile("swim"), 5_000, seed=1)
+        vpr = generate_trace(get_profile("vpr"), 5_000, seed=1)
+        assert swim.branch_count / len(swim) < 0.12
+        assert vpr.branch_count / len(vpr) > 0.18
+
+    def test_crafty_has_calls(self):
+        t = generate_trace(get_profile("crafty"), 10_000, seed=1)
+        assert any(i.is_call for i in t)
+        assert any(i.is_return for i in t)
+
+    def test_phase_structure_distinguishes_steady_from_phased(self):
+        steady = get_profile("swim")
+        phased = get_profile("gzip")
+        assert steady.schedule == "steady"
+        assert phased.schedule == "alternate"
+        assert len(phased.phases) == 2
