@@ -11,10 +11,10 @@ from repro.workloads.profiles import DISTANT_ILP_BENCHMARKS
 from conftest import bench_trace_length
 
 
-def test_fig3_static_clusters(benchmark, save_result):
+def test_fig3_static_clusters(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         figure3,
-        kwargs={"trace_length": bench_trace_length()},
+        kwargs={"trace_length": bench_trace_length(), "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )

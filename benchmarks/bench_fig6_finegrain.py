@@ -14,10 +14,10 @@ from repro.experiments.reporting import geomean
 from conftest import bench_trace_length
 
 
-def test_fig6_finegrain(benchmark, save_result):
+def test_fig6_finegrain(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         figure6,
-        kwargs={"trace_length": bench_trace_length()},
+        kwargs={"trace_length": bench_trace_length(), "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )

@@ -18,11 +18,11 @@ def _gm(results, scheme):
     return geomean(by[scheme].ipc for by in results.values())
 
 
-def test_idealized_centralized(benchmark, save_result):
+def test_idealized_centralized(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         idealized_communication,
         kwargs={"trace_length": bench_trace_length(40_000),
-                "organization": "centralized"},
+                "organization": "centralized", "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )
@@ -33,11 +33,11 @@ def test_idealized_centralized(benchmark, save_result):
     assert _gm(results, "free-register") > base * 1.01
 
 
-def test_idealized_decentralized(benchmark, save_result):
+def test_idealized_decentralized(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         idealized_communication,
         kwargs={"trace_length": bench_trace_length(40_000),
-                "organization": "decentralized"},
+                "organization": "decentralized", "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )

@@ -18,12 +18,13 @@ from conftest import bench_trace_length
 SENSITIVITY_BENCHMARKS = ("cjpeg", "gzip", "swim", "vpr", "djpeg", "mgrid")
 
 
-def test_sensitivity(benchmark, save_result):
+def test_sensitivity(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         sensitivity,
         kwargs={
             "benchmarks": SENSITIVITY_BENCHMARKS,
             "trace_length": bench_trace_length(40_000),
+            "runner": sweep_runner,
         },
         rounds=1,
         iterations=1,

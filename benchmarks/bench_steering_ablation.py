@@ -11,48 +11,43 @@ wide parallel codes (balance dominates).
 
 import pytest
 
-from repro.clusters.steering import FirstFitSteering, ModNSteering
 from repro.config import default_config
 from repro.experiments.reporting import format_table, geomean
-from repro.experiments.runner import TraceCache, run_trace
-from repro.pipeline.processor import ClusteredProcessor
-from repro.workloads.profiles import get_profile
+from repro.experiments.sweep import RunSpec, SweepRunner, require_ok
 
 from conftest import bench_trace_length
 
 BENCHES = ("cjpeg", "gzip", "swim", "vpr", "djpeg")
 
-
-def _run(trace, steering_cls):
-    config = default_config(16)
-    processor = ClusteredProcessor(trace, config)
-    if steering_cls is not None:
-        processor.steering = steering_cls(processor.clusters)
-    warm = min(6_000, len(trace) // 4)
-    while not processor.finished and processor.stats.committed < warm:
-        processor.step()
-    c0, i0 = processor.cycle, processor.stats.committed
-    processor.run()
-    return (processor.stats.committed - i0) / (processor.stats.cycles - c0)
+#: scheme name -> RunSpec.steering override (None = producer default)
+STEERINGS = {"producer": None, "mod-3": ("mod-n", 3), "first-fit": ("first-fit",)}
 
 
-def sweep(trace_length):
-    cache = TraceCache(trace_length)
+def sweep(trace_length, runner=None):
+    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    specs = [
+        RunSpec(
+            profile=bench,
+            trace_length=trace_length,
+            config=default_config(16),
+            label=scheme,
+            steering=steering,
+            warmup=min(6_000, trace_length // 4),
+        )
+        for bench in BENCHES
+        for scheme, steering in STEERINGS.items()
+    ]
     out = {}
-    for bench in BENCHES:
-        trace = cache.get(get_profile(bench))
-        out[bench] = {
-            "producer": _run(trace, None),
-            "mod-3": _run(trace, lambda cl: ModNSteering(cl, n=3)),
-            "first-fit": _run(trace, FirstFitSteering),
-        }
+    for record in require_ok(runner.run(specs)):
+        out.setdefault(record.spec.profile, {})[record.spec.label] = record.result.ipc
     return out
 
 
-def test_steering_ablation(benchmark, save_result):
+def test_steering_ablation(benchmark, save_result, sweep_runner):
     results = benchmark.pedantic(
         sweep,
-        kwargs={"trace_length": bench_trace_length(40_000)},
+        kwargs={"trace_length": bench_trace_length(40_000),
+                "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )

@@ -11,10 +11,10 @@ from repro.experiments.tables import print_table3, table3
 from conftest import bench_trace_length
 
 
-def test_table3_baseline(benchmark, save_result):
+def test_table3_baseline(benchmark, save_result, sweep_runner):
     result = benchmark.pedantic(
         table3,
-        kwargs={"trace_length": bench_trace_length()},
+        kwargs={"trace_length": bench_trace_length(), "runner": sweep_runner},
         rounds=1,
         iterations=1,
     )

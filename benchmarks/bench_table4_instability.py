@@ -14,13 +14,14 @@ from repro.workloads.profiles import PAPER_TABLE4
 from conftest import bench_trace_length
 
 
-def test_table4_instability(benchmark, save_result):
+def test_table4_instability(benchmark, save_result, sweep_runner):
     profiles = benchmark.pedantic(
         table4,
         kwargs={
             "trace_length": bench_trace_length(),
             "granularity": 500,
             "factors": (1, 2, 4, 8, 16, 32),
+            "runner": sweep_runner,
         },
         rounds=1,
         iterations=1,

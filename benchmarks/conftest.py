@@ -28,6 +28,23 @@ def bench_trace_length(base: int = BENCH_TRACE_LENGTH) -> int:
 
 
 @pytest.fixture(scope="session")
+def sweep_runner():
+    """The shared sweep engine for all exhibit benchmarks.
+
+    Parallelism comes from ``REPRO_JOBS`` (default: cpu_count-1).  The
+    result cache is *off* unless ``REPRO_BENCH_CACHE=1`` — cached timings
+    would make the pytest-benchmark numbers meaningless; the assertions
+    themselves are cache-safe because hits are bit-identical by key.
+    """
+    from repro.experiments.sweep import SweepRunner
+
+    use_cache = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+    runner = SweepRunner(jobs=None, use_cache=use_cache)
+    yield runner
+    print(f"\n[sweep metrics] {runner.metrics.snapshot()}")
+
+
+@pytest.fixture(scope="session")
 def save_result():
     """Persist an exhibit's text under results/ and echo it."""
 

@@ -41,7 +41,9 @@ from .experiments import (
     table3,
     table4,
 )
+from .experiments.reporting import format_sweep_metrics
 from .experiments.runner import run_trace
+from .experiments.sweep import SweepRunner, default_jobs
 from .workloads.generator import generate_trace
 from .workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, get_profile
 
@@ -116,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset (default: all nine)")
         ex.add_argument("--length", type=int, default=None,
                         help="trace length (default: 60000 x REPRO_TRACE_SCALE)")
+        ex.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep "
+                             "(default: REPRO_JOBS or cpu_count-1)")
+        ex.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache "
+                             "(REPRO_CACHE_DIR or ~/.cache/repro)")
+        ex.add_argument("--timeout", type=float, default=None,
+                        help="per-run timeout in seconds")
+        ex.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write sweep metrics (cache hits, latency "
+                             "percentiles, utilization) as JSON")
     return parser
 
 
@@ -152,11 +165,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
     generate, render = _EXHIBITS[name]
+    runner = SweepRunner(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        use_cache=not args.no_cache,
+        timeout=args.timeout,
+    )
     results = generate(
         benchmarks=_parse_benchmarks(args.benchmarks),
         trace_length=args.length,
+        runner=runner,
     )
     print(render(results))
+    print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w") as fh:
+            json.dump(runner.metrics.snapshot(), fh, indent=2)
+        print(f"[sweep metrics written to {args.metrics_json}]", file=sys.stderr)
     return 0
 
 

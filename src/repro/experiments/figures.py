@@ -2,14 +2,18 @@
 Section 4/5/6 text numbers).
 
 Each ``figure*`` function returns ``{benchmark: {scheme: RunResult}}`` and
-has a matching ``print_*`` helper used by the benchmark harness.  Scheme
-construction is by factory so every run gets a fresh controller.
+has a matching ``print_*`` helper used by the benchmark harness.  Schemes
+are declarative :class:`~repro.experiments.sweep.ControllerSpec` recipes so
+every run gets a fresh controller — and so the whole matrix can fan out
+across a :class:`~repro.experiments.sweep.SweepRunner` worker pool; pass
+``runner=`` to parallelize or cache (the default is the serial, uncached
+reference path, which is bit-identical by construction).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import (
     ClusterConfig,
@@ -20,50 +24,59 @@ from ..config import (
     grid_config,
     monolithic_config,
 )
-from ..core import (
-    DistantILPController,
-    ExploreConfig,
-    FineGrainConfig,
-    FineGrainController,
-    IntervalExploreController,
-    NoExploreConfig,
-    StaticController,
-    SubroutineController,
-)
+from ..core import ExploreConfig, FineGrainConfig, NoExploreConfig
 from ..workloads.profiles import BENCHMARK_NAMES, get_profile
 from .reporting import geomean, ipc_table
-from .runner import RunResult, TraceCache, run_trace
-
-SchemeFactory = Callable[[], Optional[object]]
+from .runner import DEFAULT_SEED, RunResult, scaled_length
+from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok
 
 #: the two base cases shown in every results figure of the paper
 BASE_SCHEMES = ("static-4", "static-16")
 
 
-def _standard_schemes() -> Dict[str, SchemeFactory]:
+def _serial_runner() -> SweepRunner:
+    """The reference path: in-process, no cache, no pool."""
+    return SweepRunner(jobs=1, use_cache=False)
+
+
+def _standard_schemes() -> Dict[str, ControllerSpec]:
     return {
-        "static-4": lambda: StaticController(4),
-        "static-16": lambda: StaticController(16),
+        "static-4": ControllerSpec.static(4),
+        "static-16": ControllerSpec.static(16),
     }
 
 
 def run_matrix(
-    schemes: Mapping[str, SchemeFactory],
-    config_for: Callable[[str], ProcessorConfig],
+    schemes: Mapping[str, ControllerSpec],
+    config_for,
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
-    seed: int = 7,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
-    """Run every benchmark under every scheme on a shared trace."""
-    cache = TraceCache(trace_length, seed)
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for bench in benchmarks:
-        trace = cache.get(get_profile(bench))
-        results[bench] = {}
-        for scheme, factory in schemes.items():
-            results[bench][scheme] = run_trace(
-                trace, config_for(scheme), factory(), label=scheme
-            )
+    """Run every benchmark under every scheme on a shared trace.
+
+    ``config_for(scheme_name)`` supplies the processor configuration (most
+    exhibits ignore the name; the idealization study does not).
+    """
+    runner = runner or _serial_runner()
+    length = trace_length if trace_length is not None else scaled_length()
+    specs = [
+        RunSpec(
+            profile=bench,
+            trace_length=length,
+            seed=seed,
+            config=config_for(scheme),
+            controller=spec,
+            label=scheme,
+        )
+        for bench in benchmarks
+        for scheme, spec in schemes.items()
+    ]
+    records = require_ok(runner.run(specs))
+    results: Dict[str, Dict[str, RunResult]] = {b: {} for b in benchmarks}
+    for record in records:
+        results[record.spec.profile][record.spec.label] = record.result
     return results
 
 
@@ -78,12 +91,13 @@ def _ipc_view(results: Mapping[str, Mapping[str, RunResult]]) -> Dict[str, Dict[
 def figure3(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """IPC of fixed 2/4/8/16-cluster organizations (Figure 3)."""
-    schemes = {
-        f"static-{n}": (lambda n=n: StaticController(n)) for n in (2, 4, 8, 16)
-    }
-    return run_matrix(schemes, lambda s: default_config(16), benchmarks, trace_length)
+    schemes = {f"static-{n}": ControllerSpec.static(n) for n in (2, 4, 8, 16)}
+    return run_matrix(
+        schemes, lambda s: default_config(16), benchmarks, trace_length, runner=runner
+    )
 
 
 def print_figure3(results: Mapping[str, Mapping[str, RunResult]]) -> str:
@@ -101,15 +115,12 @@ def print_figure3(results: Mapping[str, Mapping[str, RunResult]]) -> str:
 def figure5_schemes(
     explore: Optional[ExploreConfig] = None,
     noexplore_intervals: Sequence[int] = (500, 1_000, 2_000),
-) -> Dict[str, SchemeFactory]:
-    explore = explore or ExploreConfig.scaled()
+) -> Dict[str, ControllerSpec]:
     schemes = _standard_schemes()
-    schemes["interval-explore"] = lambda: IntervalExploreController(explore)
+    schemes["interval-explore"] = ControllerSpec.explore(explore)
     for length in noexplore_intervals:
-        schemes[f"no-explore-{length}"] = (
-            lambda length=length: DistantILPController(
-                NoExploreConfig.scaled(interval_length=length)
-            )
+        schemes[f"no-explore-{length}"] = ControllerSpec.no_explore(
+            NoExploreConfig.scaled(interval_length=length)
         )
     return schemes
 
@@ -117,6 +128,7 @@ def figure5_schemes(
 def figure5(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Base cases + interval-based schemes (Figure 5).
 
@@ -124,7 +136,8 @@ def figure5(
     windows) scale here to 0.5K/1K/2K over laptop traces.
     """
     return run_matrix(
-        figure5_schemes(), lambda s: default_config(16), benchmarks, trace_length
+        figure5_schemes(), lambda s: default_config(16), benchmarks, trace_length,
+        runner=runner,
     )
 
 
@@ -151,13 +164,16 @@ def print_figure5(results: Mapping[str, Mapping[str, RunResult]]) -> str:
 def figure6(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Base cases, exploration, and the two fine-grained schemes (Figure 6)."""
     schemes = _standard_schemes()
-    schemes["interval-explore"] = lambda: IntervalExploreController(ExploreConfig.scaled())
-    schemes["finegrain-branch"] = lambda: FineGrainController(FineGrainConfig())
-    schemes["finegrain-subroutine"] = lambda: SubroutineController()
-    return run_matrix(schemes, lambda s: default_config(16), benchmarks, trace_length)
+    schemes["interval-explore"] = ControllerSpec.explore()
+    schemes["finegrain-branch"] = ControllerSpec.finegrain()
+    schemes["finegrain-subroutine"] = ControllerSpec.subroutine()
+    return run_matrix(
+        schemes, lambda s: default_config(16), benchmarks, trace_length, runner=runner
+    )
 
 
 def print_figure6(results: Mapping[str, Mapping[str, RunResult]]) -> str:
@@ -177,6 +193,7 @@ def print_figure6(results: Mapping[str, Mapping[str, RunResult]]) -> str:
 def figure7(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Interval-based schemes on the decentralized cache model (Figure 7).
 
@@ -184,18 +201,19 @@ def figure7(
     (Section 5), which only the interval-based schemes amortize.
     """
     schemes = _standard_schemes()
-    schemes["interval-explore"] = lambda: IntervalExploreController(ExploreConfig.scaled())
+    schemes["interval-explore"] = ControllerSpec.explore()
     # every reconfiguration flushes the L1 here, so short intervals only add
     # flush traffic — the paper likewise found no benefit from reconfiguring
     # the decentralized model at shorter intervals (Section 5)
-    schemes["no-explore-1000"] = lambda: DistantILPController(
+    schemes["no-explore-1000"] = ControllerSpec.no_explore(
         NoExploreConfig.scaled(interval_length=1_000)
     )
-    schemes["no-explore-2000"] = lambda: DistantILPController(
+    schemes["no-explore-2000"] = ControllerSpec.no_explore(
         NoExploreConfig.scaled(interval_length=2_000)
     )
     return run_matrix(
-        schemes, lambda s: decentralized_config(16), benchmarks, trace_length
+        schemes, lambda s: decentralized_config(16), benchmarks, trace_length,
+        runner=runner,
     )
 
 
@@ -225,11 +243,14 @@ def print_figure7(results: Mapping[str, Mapping[str, RunResult]]) -> str:
 def figure8(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Static bases + exploration on the grid interconnect (Figure 8)."""
     schemes = _standard_schemes()
-    schemes["interval-explore"] = lambda: IntervalExploreController(ExploreConfig.scaled())
-    return run_matrix(schemes, lambda s: grid_config(16), benchmarks, trace_length)
+    schemes["interval-explore"] = ControllerSpec.explore()
+    return run_matrix(
+        schemes, lambda s: grid_config(16), benchmarks, trace_length, runner=runner
+    )
 
 
 def print_figure8(results: Mapping[str, Mapping[str, RunResult]]) -> str:
@@ -249,6 +270,7 @@ def idealized_communication(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
     organization: str = "centralized",
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Zero-cost memory/register communication studies (Sections 4 and 5).
 
@@ -265,12 +287,12 @@ def idealized_communication(
             inter = replace(inter, free_register_communication=True)
         return base.with_interconnect(inter)
 
-    schemes: Dict[str, SchemeFactory] = {
-        "baseline": lambda: None,
-        "free-memory": lambda: None,
-        "free-register": lambda: None,
+    schemes = {
+        "baseline": ControllerSpec.none(),
+        "free-memory": ControllerSpec.none(),
+        "free-register": ControllerSpec.none(),
     }
-    return run_matrix(schemes, config_for, benchmarks, trace_length)
+    return run_matrix(schemes, config_for, benchmarks, trace_length, runner=runner)
 
 
 def print_idealized(results: Mapping[str, Mapping[str, RunResult]], organization: str) -> str:
@@ -313,15 +335,38 @@ def sensitivity_variants() -> Dict[str, ProcessorConfig]:
 def sensitivity(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
-    """For each Section 6 variant: static 4/16 + interval-explore."""
-    out: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    """For each Section 6 variant: static 4/16 + interval-explore.
+
+    The whole (variant x benchmark x scheme) cube goes to the runner as one
+    batch so a worker pool sees maximum parallelism.
+    """
+    runner = runner or _serial_runner()
+    length = trace_length if trace_length is not None else scaled_length()
+    schemes = _standard_schemes()
+    schemes["interval-explore"] = ControllerSpec.explore()
+
+    specs: List[RunSpec] = []
+    keys: List[Tuple[str, str, str]] = []
     for variant, config in sensitivity_variants().items():
-        schemes = _standard_schemes()
-        schemes["interval-explore"] = lambda: IntervalExploreController(
-            ExploreConfig.scaled()
-        )
-        out[variant] = run_matrix(schemes, lambda s: config, benchmarks, trace_length)
+        for bench in benchmarks:
+            for scheme, spec in schemes.items():
+                specs.append(
+                    RunSpec(
+                        profile=bench,
+                        trace_length=length,
+                        config=config,
+                        controller=spec,
+                        label=scheme,
+                    )
+                )
+                keys.append((variant, bench, scheme))
+
+    records = require_ok(runner.run(specs))
+    out: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for (variant, bench, scheme), record in zip(keys, records):
+        out.setdefault(variant, {}).setdefault(bench, {})[scheme] = record.result
     return out
 
 

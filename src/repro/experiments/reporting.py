@@ -45,6 +45,28 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def format_sweep_metrics(metrics) -> str:
+    """One-block ASCII summary of a :class:`~repro.experiments.sweep.SweepMetrics`.
+
+    Shown by the CLI after ``--jobs`` sweeps and saved as JSON by CI; keep
+    the field set in sync with ``SweepMetrics.snapshot``.
+    """
+    rows = [
+        ["workers", metrics.jobs],
+        ["runs completed", metrics.completed],
+        ["failed / timed out", f"{metrics.failed} / {metrics.timeouts}"],
+        ["retries", metrics.retries],
+        ["cache hits / misses",
+         f"{metrics.cache_hits} / {metrics.cache_misses} "
+         f"({100 * metrics.hit_rate:.0f}% hit rate)"],
+        ["wall time", f"{metrics.wall_seconds:.2f}s"],
+        ["worker utilization", f"{100 * metrics.worker_utilization:.0f}%"],
+        ["run latency p50 / p95",
+         f"{metrics.p50_seconds:.2f}s / {metrics.p95_seconds:.2f}s"],
+    ]
+    return format_table(["metric", "value"], rows, "Sweep metrics")
+
+
 def ipc_table(
     results: Mapping[str, Mapping[str, float]],
     scheme_order: Sequence[str],

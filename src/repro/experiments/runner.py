@@ -64,14 +64,19 @@ def run_trace(
     controller: Optional[object] = None,
     warmup: int = DEFAULT_WARMUP,
     label: str = "",
+    steering: Optional[Callable[[object], object]] = None,
 ) -> RunResult:
     """Simulate a trace and report post-warmup steady-state metrics.
 
     The controller (if any) runs from cycle zero — warmup only affects
     *measurement*, exactly like the paper's fast-forward + warm simulation
-    methodology.
+    methodology.  ``steering``, when given, is called with the processor's
+    cluster list and must return a steering heuristic that replaces the
+    default producer-preference one (used by the steering ablation).
     """
     processor = ClusteredProcessor(trace, config, controller)
+    if steering is not None:
+        processor.steering = steering(processor.clusters)
     warmup = min(warmup, max(0, len(trace) - 1000))
     while not processor.finished and processor.stats.committed < warmup:
         processor.step()

@@ -1,0 +1,662 @@
+"""Parallel sweep engine with content-hashed result caching.
+
+Every paper exhibit is a matrix of *independent* single-configuration
+simulations, which makes the whole reproduction embarrassingly parallel.
+This module supplies the machinery the exhibits (and the benchmark
+harness) fan out on:
+
+* :class:`RunSpec` / :class:`ControllerSpec` — fully declarative, picklable
+  descriptions of one run.  Workers rebuild the trace and the controller
+  from the spec, so nothing stateful ever crosses a process boundary and a
+  parallel sweep is bit-identical to the serial loop it replaced.
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by a
+  stable hash of the trace-generation parameters, the
+  :class:`~repro.config.ProcessorConfig`, the controller spec, and a digest
+  of the simulator's own source tree (so editing the code invalidates
+  everything automatically).
+* :class:`SweepRunner` — fans specs out across a ``ProcessPoolExecutor``
+  with per-run timeout and retry, records structured failures instead of
+  crashing the sweep, and exposes progress/latency/utilization metrics.
+
+Determinism is the design constraint: ``SweepRunner(jobs=4)`` must produce
+the same :class:`~repro.stats.SimStats` as ``jobs=1`` and as the plain
+``run_trace`` loop, for the same seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ProcessorConfig
+from ..core import (
+    DistantILPController,
+    ExploreConfig,
+    FineGrainConfig,
+    FineGrainController,
+    IntervalExploreController,
+    NoExploreConfig,
+    StaticController,
+    SubroutineController,
+)
+from ..stats import IntervalRecord
+from ..workloads.generator import generate_trace
+from ..workloads.profiles import get_profile
+from .runner import DEFAULT_WARMUP, RunResult, run_trace
+from .timeline import Reconfiguration, TimelineRecorder
+
+#: environment knob: cache directory (default ``~/.cache/repro``)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: environment knob: default worker count for CLI/benchmark sweeps
+JOBS_ENV = "REPRO_JOBS"
+
+#: bump when the cached payload layout changes
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# declarative run descriptions
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """A picklable recipe for a reconfiguration controller.
+
+    Controllers are stateful objects, so the sweep ships this declarative
+    description instead and every worker builds a fresh instance — the same
+    reason :mod:`repro.experiments.figures` used factory callables before.
+
+    ``kind`` is one of ``none``, ``static``, ``explore``, ``no-explore``,
+    ``finegrain``, ``subroutine``; ``algo`` carries the (frozen, hashable)
+    algorithm-constant dataclass where one applies.
+    """
+
+    kind: str = "none"
+    clusters: Optional[int] = None
+    algo: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CONTROLLER_BUILDERS:
+            raise ValueError(
+                f"unknown controller kind {self.kind!r}; "
+                f"choose from {sorted(_CONTROLLER_BUILDERS)}"
+            )
+        if self.kind == "static" and not self.clusters:
+            raise ValueError("static controller spec needs a cluster count")
+
+    # -- convenience constructors ---------------------------------------
+    @classmethod
+    def none(cls) -> "ControllerSpec":
+        return cls("none")
+
+    @classmethod
+    def static(cls, clusters: int) -> "ControllerSpec":
+        return cls("static", clusters=clusters)
+
+    @classmethod
+    def explore(cls, algo: Optional[ExploreConfig] = None) -> "ControllerSpec":
+        return cls("explore", algo=algo or ExploreConfig.scaled())
+
+    @classmethod
+    def no_explore(cls, algo: Optional[NoExploreConfig] = None) -> "ControllerSpec":
+        return cls("no-explore", algo=algo or NoExploreConfig.scaled())
+
+    @classmethod
+    def finegrain(cls, algo: Optional[FineGrainConfig] = None) -> "ControllerSpec":
+        return cls("finegrain", algo=algo or FineGrainConfig())
+
+    @classmethod
+    def subroutine(cls, algo: Optional[FineGrainConfig] = None) -> "ControllerSpec":
+        return cls("subroutine", algo=algo)
+
+    def build(self):
+        """A fresh controller instance (or ``None`` for ``kind='none'``)."""
+        return _CONTROLLER_BUILDERS[self.kind](self)
+
+
+_CONTROLLER_BUILDERS: Dict[str, Callable[[ControllerSpec], object]] = {
+    "none": lambda spec: None,
+    "static": lambda spec: StaticController(spec.clusters),
+    "explore": lambda spec: IntervalExploreController(spec.algo),
+    "no-explore": lambda spec: DistantILPController(spec.algo),
+    "finegrain": lambda spec: FineGrainController(spec.algo),
+    "subroutine": lambda spec: SubroutineController(spec.algo),
+}
+
+
+def _build_steering(spec: Tuple) -> Callable:
+    """Steering-override factory from a declarative ``("mod-n", 3)`` /
+    ``("first-fit",)`` tuple (see the steering ablation benchmark)."""
+    from ..clusters.steering import FirstFitSteering, ModNSteering
+
+    kind = spec[0]
+    if kind == "mod-n":
+        n = spec[1] if len(spec) > 1 else 3
+        return lambda clusters: ModNSteering(clusters, n=n)
+    if kind == "first-fit":
+        return lambda clusters: FirstFitSteering(clusters)
+    raise ValueError(f"unknown steering spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run, by value.
+
+    The trace is *not* shipped to workers — they regenerate it from
+    ``(profile, trace_length, seed)``, which is deterministic, so a spec
+    is a few hundred bytes regardless of trace length.
+
+    ``label`` names the scheme for reporting and is deliberately excluded
+    from the cache key: two exhibits that run the same configuration under
+    different labels share one cache entry.
+    """
+
+    profile: str
+    trace_length: int
+    seed: int = 7
+    config: ProcessorConfig = field(default_factory=ProcessorConfig)
+    controller: ControllerSpec = field(default_factory=ControllerSpec)
+    warmup: int = DEFAULT_WARMUP
+    label: str = ""
+    #: optional steering override, e.g. ``("mod-n", 3)`` or ``("first-fit",)``
+    steering: Optional[Tuple] = None
+    #: when set, run :func:`repro.core.instability.record_intervals` at this
+    #: granularity instead of a measured run (the Table 4 recording mode)
+    record_granularity: Optional[int] = None
+
+    def cache_key(self) -> str:
+        """Stable content hash of the run's inputs plus the code version."""
+        import repro  # deferred: the package root imports this module
+
+        payload = "|".join(
+            (
+                f"schema={CACHE_SCHEMA_VERSION}",
+                f"version={repro.__version__}",
+                f"code={_code_digest()}",
+                f"profile={self.profile}",
+                f"length={self.trace_length}",
+                f"seed={self.seed}",
+                f"warmup={self.warmup}",
+                f"config={self.config!r}",
+                f"controller={self.controller!r}",
+                f"steering={self.steering!r}",
+                f"record={self.record_granularity!r}",
+            )
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_CODE_DIGEST: Optional[str] = None
+
+
+def _code_digest() -> str:
+    """Digest of the ``repro`` package's source files.
+
+    Any edit to the simulator invalidates every cache entry — the paper
+    numbers must always come from the code in the tree, never from a stale
+    cache.  Computed once per process (~1 MB of source).
+    """
+    global _CODE_DIGEST
+    if _CODE_DIGEST is None:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_DIGEST = digest.hexdigest()[:16]
+    return _CODE_DIGEST
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one sweep entry — success or structured failure."""
+
+    spec: RunSpec
+    status: str  # "ok" | "failed" | "timeout"
+    result: Optional[RunResult] = None
+    #: interval recording (``record_granularity`` mode) instead of a result
+    records: Optional[List[IntervalRecord]] = None
+    #: every active-cluster change, in commit order (determinism evidence)
+    events: Tuple[Reconfiguration, ...] = ()
+    error: str = ""
+    attempts: int = 1
+    duration: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+
+#: per-worker-process trace memo; traces are large, so keep only a few
+_TRACE_MEMO: Dict[Tuple[str, int, int], object] = {}
+_TRACE_MEMO_LIMIT = 8
+
+
+def _trace_for(profile: str, length: int, seed: int):
+    key = (profile, length, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = generate_trace(get_profile(profile), length, seed)
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
+
+
+class _RunTimeout(Exception):
+    pass
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires asynchronously
+    raise _RunTimeout()
+
+
+def _run_spec(spec: RunSpec) -> RunRecord:
+    """Execute one spec (no error handling — see :func:`execute_spec`)."""
+    start = time.perf_counter()
+    trace = _trace_for(spec.profile, spec.trace_length, spec.seed)
+
+    if spec.record_granularity is not None:
+        from ..core.instability import record_intervals
+
+        records = record_intervals(trace, spec.config, spec.record_granularity)
+        return RunRecord(
+            spec=spec,
+            status="ok",
+            records=records,
+            duration=time.perf_counter() - start,
+        )
+
+    controller = spec.controller.build()
+    recorder = TimelineRecorder(controller) if controller is not None else None
+    steering = _build_steering(spec.steering) if spec.steering else None
+    result = run_trace(
+        trace,
+        spec.config,
+        recorder if recorder is not None else None,
+        warmup=spec.warmup,
+        label=spec.label,
+        steering=steering,
+    )
+    return RunRecord(
+        spec=spec,
+        status="ok",
+        result=result,
+        events=tuple(recorder.events) if recorder else (),
+        duration=time.perf_counter() - start,
+    )
+
+
+def execute_spec(spec: RunSpec, timeout: Optional[float] = None) -> RunRecord:
+    """Run one spec, converting any failure into a structured record.
+
+    The per-run timeout is enforced with ``SIGALRM`` inside the worker (so
+    a runaway simulation is actually interrupted, not merely abandoned);
+    when the signal is unavailable — non-main thread, non-Unix — the run
+    proceeds unbounded rather than crashing.
+    """
+    start = time.perf_counter()
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _run_spec(spec)
+    except _RunTimeout:
+        return RunRecord(
+            spec=spec,
+            status="timeout",
+            error=f"run exceeded {timeout:g}s timeout",
+            duration=time.perf_counter() - start,
+        )
+    except Exception as exc:
+        return RunRecord(
+            spec=spec,
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            duration=time.perf_counter() - start,
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# on-disk result cache
+
+
+class ResultCache:
+    """Content-addressed pickle-per-entry cache under one directory.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    sweeps sharing a cache directory cannot observe torn writes; a corrupt
+    or mismatched entry is evicted and recomputed, never fatal.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = pathlib.Path(directory or default_cache_dir())
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        key = spec.cache_key()
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload["schema"] != CACHE_SCHEMA_VERSION or payload["key"] != key:
+                raise ValueError("cache entry does not match its key")
+            record: RunRecord = payload["record"]
+            if not isinstance(record, RunRecord) or not record.ok:
+                raise ValueError("cache entry is not a successful RunRecord")
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.evict(key)
+            return None
+        # the stored spec may carry another exhibit's label; report ours
+        record.spec = spec
+        record.from_cache = True
+        if record.result is not None:
+            record.result.label = spec.label
+        return record
+
+    def put(self, record: RunRecord) -> None:
+        if not record.ok:
+            return
+        key = record.spec.cache_key()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, self._path(key))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def evict(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+@dataclass
+class SweepMetrics:
+    """Progress and performance counters for one :class:`SweepRunner`."""
+
+    jobs: int = 1
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    def latency_percentile(self, pct: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(round((pct / 100.0) * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_seconds(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker-seconds spent simulating (1.0 = saturated)."""
+        if self.wall_seconds <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.wall_seconds * self.jobs))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-serializable summary (CI uploads this as an artifact)."""
+        return {
+            "jobs": self.jobs,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "busy_seconds": round(self.busy_seconds, 4),
+            "worker_utilization": round(self.worker_utilization, 4),
+            "p50_run_seconds": round(self.p50_seconds, 4),
+            "p95_run_seconds": round(self.p95_seconds, 4),
+        }
+
+
+# ----------------------------------------------------------------------
+# the runner
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` if set, else ``cpu_count - 1`` (min 1)."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class SweepRunner:
+    """Fan independent :class:`RunSpec` runs out across worker processes.
+
+    ``jobs=1`` (or 0) runs everything in-process — no pool, no pickling —
+    which is also the reference path for the determinism guarantee.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; default :func:`default_jobs`.
+    cache_dir / use_cache:
+        Result cache location (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)
+        and whether to consult it at all.
+    timeout:
+        Per-run wall-clock limit in seconds (``None`` = unbounded).
+    retries:
+        Extra attempts per failed/timed-out run before recording the
+        structured failure.
+    progress:
+        Optional callable invoked after every completed run with a dict
+        (``profile``, ``label``, ``status``, ``from_cache``, ``duration``,
+        ``completed``, ``total``).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Optional[Callable[[Dict], None]] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.progress = progress
+        self.metrics = SweepMetrics(jobs=self.jobs)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute every spec; results come back in input order.
+
+        Failures are *returned*, not raised — callers that need a complete
+        matrix should check :attr:`RunRecord.ok` (or use
+        :func:`require_ok`).
+        """
+        specs = list(specs)
+        start = time.perf_counter()
+        self.metrics.submitted += len(specs)
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+
+        pending: List[Tuple[int, RunSpec]] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache else None
+            if hit is not None:
+                records[i] = hit
+                self.metrics.cache_hits += 1
+                self._note_done(hit)
+            else:
+                if self.cache:
+                    self.metrics.cache_misses += 1
+                pending.append((i, spec))
+
+        if pending:
+            if self.jobs <= 1:
+                self._run_serial(pending, records)
+            else:
+                self._run_parallel(pending, records)
+
+        self.metrics.wall_seconds += time.perf_counter() - start
+        return [r for r in records if r is not None]
+
+    # ------------------------------------------------------------------
+    def _finish(self, index: int, record: RunRecord, attempts: int,
+                records: List[Optional[RunRecord]]) -> None:
+        record.attempts = attempts
+        records[index] = record
+        if record.ok and self.cache:
+            try:
+                self.cache.put(record)
+            except Exception:
+                pass  # a read-only cache dir must not kill the sweep
+        self._note_done(record)
+
+    def _note_done(self, record: RunRecord) -> None:
+        m = self.metrics
+        m.completed += 1
+        if record.status == "failed":
+            m.failed += 1
+        elif record.status == "timeout":
+            m.timeouts += 1
+        if not record.from_cache:
+            m.busy_seconds += record.duration
+            m.latencies.append(record.duration)
+        if self.progress:
+            self.progress(
+                {
+                    "profile": record.spec.profile,
+                    "label": record.spec.label,
+                    "status": record.status,
+                    "from_cache": record.from_cache,
+                    "duration": record.duration,
+                    "completed": m.completed,
+                    "total": m.submitted,
+                }
+            )
+
+    def _run_serial(self, pending, records) -> None:
+        for index, spec in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                record = execute_spec(spec, self.timeout)
+                if record.ok or attempts > self.retries:
+                    break
+                self.metrics.retries += 1
+            self._finish(index, record, attempts, records)
+
+    def _run_parallel(self, pending, records) -> None:
+        attempts: Dict[int, int] = {}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(execute_spec, spec, self.timeout): (index, spec)
+                for index, spec in pending
+            }
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, spec = futures.pop(future)
+                    attempts[index] = attempts.get(index, 0) + 1
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # pool-level failure
+                        record = RunRecord(
+                            spec=spec,
+                            status="failed",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    if not record.ok and attempts[index] <= self.retries:
+                        self.metrics.retries += 1
+                        futures[pool.submit(execute_spec, spec, self.timeout)] = (
+                            index,
+                            spec,
+                        )
+                        continue
+                    self._finish(index, record, attempts[index], records)
+
+
+def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:
+    """Raise with every structured failure if any record is not ok."""
+    bad = [r for r in records if not r.ok]
+    if bad:
+        lines = [
+            f"  {r.spec.profile}/{r.spec.label or r.spec.controller.kind}: "
+            f"{r.status} after {r.attempts} attempt(s) — {r.error}"
+            for r in bad
+        ]
+        raise RuntimeError(
+            f"{len(bad)} of {len(records)} sweep runs failed:\n" + "\n".join(lines)
+        )
+    return list(records)

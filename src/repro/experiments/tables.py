@@ -5,23 +5,34 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..config import default_config, monolithic_config
-from ..core.instability import InstabilityProfile, instability_profile, record_intervals
+from ..core.instability import InstabilityProfile, instability_profile
 from ..core.phase import PhaseDetectConfig
 from ..workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, PAPER_TABLE4, get_profile
 from .reporting import format_table
-from .runner import RunResult, TraceCache, run_trace
+from .runner import RunResult, scaled_length
+from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok
 
 
 def table3(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     trace_length: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, RunResult]:
     """Monolithic-baseline IPC and mispredict interval per benchmark."""
-    cache = TraceCache(trace_length)
-    return {
-        bench: run_trace(cache.get(get_profile(bench)), monolithic_config(), label="mono")
+    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    length = trace_length if trace_length is not None else scaled_length()
+    specs = [
+        RunSpec(
+            profile=bench,
+            trace_length=length,
+            config=monolithic_config(),
+            controller=ControllerSpec.none(),
+            label="mono",
+        )
         for bench in benchmarks
-    }
+    ]
+    records = require_ok(runner.run(specs))
+    return {record.spec.profile: record.result for record in records}
 
 
 def print_table3(results: Mapping[str, RunResult]) -> str:
@@ -45,6 +56,7 @@ def table4(
     granularity: int = 500,
     factors: Sequence[int] = (1, 2, 4, 8, 16, 32),
     detect: Optional[PhaseDetectConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, InstabilityProfile]:
     """Instability factor vs interval length per benchmark (Table 4).
 
@@ -54,15 +66,31 @@ def table4(
     of ``granularity`` over laptop traces; the IPC significance tolerance is
     widened to the scaled controllers' 20% because sub-1K-instruction
     windows measure IPC with far more sampling noise than the paper's.
+
+    The per-benchmark recordings are independent simulations, so they fan
+    out through the sweep runner too (``record_granularity`` mode); only
+    the cheap offline reanalysis stays in-process.
     """
     detect = detect or PhaseDetectConfig(ipc_tolerance=0.20)
-    cache = TraceCache(trace_length)
-    out: Dict[str, InstabilityProfile] = {}
-    for bench in benchmarks:
-        trace = cache.get(get_profile(bench))
-        records = record_intervals(trace, default_config(16), granularity)
-        out[bench] = instability_profile(records, granularity, factors, detect)
-    return out
+    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    length = trace_length if trace_length is not None else scaled_length()
+    specs = [
+        RunSpec(
+            profile=bench,
+            trace_length=length,
+            config=default_config(16),
+            label="record",
+            record_granularity=granularity,
+        )
+        for bench in benchmarks
+    ]
+    records = require_ok(runner.run(specs))
+    return {
+        record.spec.profile: instability_profile(
+            record.records, granularity, factors, detect
+        )
+        for record in records
+    }
 
 
 def print_table4(profiles: Mapping[str, InstabilityProfile], threshold: float = 0.05) -> str:

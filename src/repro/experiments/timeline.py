@@ -24,6 +24,40 @@ class Reconfiguration:
     clusters: int
 
 
+class _RecordingProxy:
+    """Pass-through to the processor that logs reconfigurations.
+
+    A module-level class (rather than a closure inside ``attach``) so that
+    an attached :class:`TimelineRecorder` stays picklable — sweep workers
+    ship recorded controllers back across process boundaries.
+    """
+
+    def __init__(self, processor, recorder: "TimelineRecorder") -> None:
+        # bypass __getattr__-era attribute lookups during construction
+        object.__setattr__(self, "_processor", processor)
+        object.__setattr__(self, "_recorder", recorder)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            # during unpickling __getattr__ runs before __dict__ is
+            # restored; recursing on _processor here would never terminate
+            raise AttributeError(name)
+        return getattr(self._processor, name)
+
+    def set_active_clusters(self, n, reason=""):
+        processor = self._processor
+        before = processor.active_clusters
+        processor.set_active_clusters(n, reason)
+        if processor.active_clusters != before:
+            self._recorder.events.append(
+                Reconfiguration(
+                    cycle=processor.cycle,
+                    committed=processor.stats.committed,
+                    clusters=processor.active_clusters,
+                )
+            )
+
+
 class TimelineRecorder:
     """Controller decorator that records reconfiguration events.
 
@@ -43,27 +77,7 @@ class TimelineRecorder:
 
     def attach(self, processor) -> None:
         self._processor = processor
-        recorder = self
-
-        class _Proxy:
-            """Pass-through to the processor that logs reconfigurations."""
-
-            def __getattr__(self, name):
-                return getattr(processor, name)
-
-            def set_active_clusters(self, n, reason=""):
-                before = processor.active_clusters
-                processor.set_active_clusters(n, reason)
-                if processor.active_clusters != before:
-                    recorder.events.append(
-                        Reconfiguration(
-                            cycle=processor.cycle,
-                            committed=processor.stats.committed,
-                            clusters=processor.active_clusters,
-                        )
-                    )
-
-        self.inner.attach(_Proxy())
+        self.inner.attach(_RecordingProxy(processor, self))
 
     def on_commit(self, instr: Instr, cycle: int, distant: bool) -> None:
         self.inner.on_commit(instr, cycle, distant)

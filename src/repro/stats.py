@@ -12,8 +12,9 @@ Two layers:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -98,6 +99,26 @@ class SimStats:
         if self.bank_predictions == 0:
             return 1.0
         return 1.0 - self.bank_mispredictions / self.bank_predictions
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Accumulate ``other``'s counters into this object (in place).
+
+        Every field of :class:`SimStats` is an additive counter, so merging
+        per-run statistics yields exactly the statistics of the combined
+        workload — this is what lets a parallel sweep aggregate its shards
+        into one report.  Returns ``self`` for chaining.
+        """
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def merged(cls, runs: Iterable["SimStats"]) -> "SimStats":
+        """A fresh :class:`SimStats` holding the sum of ``runs``."""
+        total = cls()
+        for run in runs:
+            total.merge(run)
+        return total
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy of the headline numbers, for reporting."""

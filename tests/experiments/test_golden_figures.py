@@ -1,0 +1,206 @@
+"""Golden regression tests for the paper figures.
+
+Two layers of protection:
+
+* the committed ``results/*.txt`` exhibits must keep showing the paper's
+  qualitative findings (parsed directly — instant);
+* miniature re-simulations of fig3/fig5/table3 must reproduce the same key
+  orderings with today's code (marked ``slow``; still tier-1).
+
+The mini runs use shorter traces and benchmark subsets than the full
+benchmarks, with assertions calibrated to hold with margin at this scale.
+"""
+
+import pathlib
+import re
+import time
+
+import pytest
+
+from repro.experiments.figures import figure3, figure5
+from repro.experiments.reporting import geomean
+from repro.experiments.sweep import SweepRunner
+from repro.experiments.tables import table3
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent.parent / "results"
+
+#: mini-run scale: long enough for phase behaviour, short enough for CI
+LEN = 15_000
+
+
+def parse_exhibit(name):
+    """Parse a ``format_table``-style results file into {row: {col: float}}.
+
+    Column boundaries come from the row of dashes under the header, so
+    multi-word column names ("base IPC") parse correctly.
+    """
+    lines = (RESULTS / name).read_text().splitlines()
+    dash_idx = next(
+        i
+        for i, line in enumerate(lines)
+        if line.strip() and set(line.strip()) <= {"-", " "}
+    )
+    spans = [m.span() for m in re.finditer(r"-+", lines[dash_idx])]
+    # each column runs from its dashes to the start of the next column
+    bounds = [
+        (start, spans[i + 1][0] if i + 1 < len(spans) else None)
+        for i, (start, _end) in enumerate(spans)
+    ]
+
+    def cut(line):
+        return [line[a:b].strip() for a, b in bounds]
+
+    header = cut(lines[dash_idx - 1])[1:]
+    table = {}
+    for line in lines[dash_idx + 1 :]:
+        cells = cut(line)
+        try:
+            table[cells[0]] = dict(zip(header, map(float, cells[1:])))
+        except ValueError:
+            break  # footer lines below the table
+    assert table, f"no data rows found in {name}"
+    return table
+
+
+class TestCommittedExhibits:
+    """The checked-in results files still carry the paper's findings."""
+
+    def test_fig3_distant_ilp_codes_scale(self):
+        table = parse_exhibit("fig3_static_clusters.txt")
+        for bench in ("djpeg", "swim", "mgrid", "galgel"):
+            assert table[bench]["static-16"] > table[bench]["static-4"], bench
+        # branchy integer codes peak early and lose IPC at 16 clusters
+        for bench in ("vpr", "parser", "crafty"):
+            assert table[bench]["static-16"] <= table[bench]["static-4"], bench
+
+    def test_fig5_dynamic_beats_best_static(self):
+        table = parse_exhibit("fig5_interval_schemes.txt")
+        gm = table["geomean"]
+        best_static = max(gm["static-4"], gm["static-16"])
+        # the headline result: interval-based reconfiguration tracks (and
+        # without exploration overhead, beats) the best static base case
+        assert gm["no-explore-500"] > best_static
+        assert gm["interval-explore"] > best_static * 0.97
+
+    def test_fig5_interval_explore_tracks_best_static_per_program(self):
+        table = parse_exhibit("fig5_interval_schemes.txt")
+        for bench in ("swim", "mgrid", "galgel"):
+            best = max(table[bench]["static-4"], table[bench]["static-16"])
+            assert table[bench]["interval-explore"] >= best * 0.90, bench
+
+    def test_table3_characterization_orderings(self):
+        table = parse_exhibit("table3_baseline.txt")
+        ipc = {b: row["base IPC"] for b, row in table.items()}
+        interval = {b: row["mispred interval"] for b, row in table.items()}
+        # djpeg and galgel lead the IPC ordering (paper Table 3)
+        assert min(ipc["djpeg"], ipc["galgel"]) > max(
+            ipc["vpr"], ipc["parser"], ipc["crafty"]
+        )
+        # FP codes barely mispredict; integer codes do so every ~60-250
+        assert min(interval["swim"], interval["mgrid"]) > 1_000
+        assert max(interval["cjpeg"], interval["gzip"]) < 250
+
+
+@pytest.mark.slow
+class TestMiniFigure3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure3(benchmarks=("swim", "vpr", "gzip"), trace_length=LEN)
+
+    def test_distant_ilp_code_scales(self, results):
+        assert results["swim"]["static-16"].ipc > results["swim"]["static-4"].ipc
+
+    def test_branchy_code_does_not(self, results):
+        vpr = results["vpr"]
+        assert vpr["static-16"].ipc <= vpr["static-4"].ipc * 1.10
+
+    def test_two_clusters_always_worst(self, results):
+        for bench, by in results.items():
+            best = max(r.ipc for r in by.values())
+            assert by["static-2"].ipc < best, bench
+
+
+@pytest.mark.slow
+class TestMiniFigure5:
+    BENCHES = ("swim", "mgrid", "gzip", "vpr")
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure5(benchmarks=self.BENCHES, trace_length=LEN)
+
+    def test_exploration_tracks_best_static_on_phased_profiles(self, results):
+        for bench in ("swim", "mgrid"):
+            by = results[bench]
+            best = max(by["static-4"].ipc, by["static-16"].ipc)
+            assert by["interval-explore"].ipc >= best * 0.85, bench
+
+    def test_no_explore_beats_best_static_geomean(self, results):
+        gm = {
+            scheme: geomean(by[scheme].ipc for by in results.values())
+            for scheme in next(iter(results.values()))
+        }
+        best_static = max(gm["static-4"], gm["static-16"])
+        assert gm["no-explore-500"] > best_static * 0.97
+        assert gm["interval-explore"] > best_static * 0.95
+
+    def test_dynamic_schemes_reconfigure(self, results):
+        assert any(
+            by["interval-explore"].reconfigurations > 0 for by in results.values()
+        )
+
+
+@pytest.mark.slow
+class TestMiniTable3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table3(benchmarks=("swim", "djpeg", "vpr", "cjpeg"), trace_length=LEN)
+
+    def test_media_code_leads_ipc(self, results):
+        assert results["djpeg"].ipc > results["vpr"].ipc
+        assert results["djpeg"].ipc > results["cjpeg"].ipc
+
+    def test_fp_code_barely_mispredicts(self, results):
+        assert results["swim"].mispredict_interval > 1_000
+        assert results["cjpeg"].mispredict_interval < 250
+
+
+@pytest.mark.slow
+class TestFig5SweepAcceptance:
+    """The PR acceptance criterion: fig5 through SweepRunner(jobs=4) is
+    identical to the serial path, and a second invocation is >= 5x faster
+    through cache hits."""
+
+    BENCHES = ("gzip", "swim", "vpr")
+    LEN = 3_000
+
+    def test_parallel_identical_then_cached_fast(self, tmp_path):
+        serial = figure5(benchmarks=self.BENCHES, trace_length=self.LEN)
+
+        parallel_runner = SweepRunner(jobs=4, cache_dir=tmp_path, use_cache=True)
+        t0 = time.perf_counter()
+        parallel = figure5(
+            benchmarks=self.BENCHES, trace_length=self.LEN, runner=parallel_runner
+        )
+        cold_seconds = time.perf_counter() - t0
+        assert parallel_runner.metrics.cache_hits == 0
+
+        for bench, by in serial.items():
+            for scheme, result in by.items():
+                assert parallel[bench][scheme].ipc == result.ipc, (bench, scheme)
+                assert parallel[bench][scheme].committed == result.committed
+
+        cached_runner = SweepRunner(jobs=4, cache_dir=tmp_path, use_cache=True)
+        t0 = time.perf_counter()
+        cached = figure5(
+            benchmarks=self.BENCHES, trace_length=self.LEN, runner=cached_runner
+        )
+        warm_seconds = time.perf_counter() - t0
+
+        runs = len(self.BENCHES) * len(next(iter(serial.values())))
+        assert cached_runner.metrics.cache_hits == runs
+        assert cached_runner.metrics.cache_misses == 0
+        for bench, by in serial.items():
+            for scheme, result in by.items():
+                assert cached[bench][scheme].ipc == result.ipc, (bench, scheme)
+
+        assert cold_seconds >= 5 * warm_seconds, (cold_seconds, warm_seconds)

@@ -1,0 +1,313 @@
+"""SweepRunner: parallel fan-out, result caching, failure handling.
+
+The hard requirement under test: a parallel sweep is *bit-identical* to
+the serial loop it replaced — same SimStats, same IPC, same
+reconfiguration event sequence — and the cache returns exactly what the
+simulation would have produced.
+"""
+
+import dataclasses
+import pickle
+import time
+
+import pytest
+
+from repro.config import decentralized_config, default_config
+from repro.core import ExploreConfig, NoExploreConfig, StaticController
+from repro.experiments.runner import TraceCache, run_trace
+from repro.experiments.sweep import (
+    ControllerSpec,
+    ResultCache,
+    RunRecord,
+    RunSpec,
+    SweepRunner,
+    default_jobs,
+    execute_spec,
+    require_ok,
+)
+from repro.stats import SimStats
+
+LEN = 3_000
+
+
+def spec_for(profile="gzip", scheme=None, length=LEN, **kw):
+    return RunSpec(
+        profile=profile,
+        trace_length=length,
+        config=default_config(16),
+        controller=scheme or ControllerSpec.static(4),
+        label="test",
+        **kw,
+    )
+
+
+class TestControllerSpec:
+    def test_every_kind_builds(self):
+        specs = [
+            ControllerSpec.none(),
+            ControllerSpec.static(4),
+            ControllerSpec.explore(),
+            ControllerSpec.no_explore(),
+            ControllerSpec.finegrain(),
+            ControllerSpec.subroutine(),
+        ]
+        built = [s.build() for s in specs]
+        assert built[0] is None
+        assert isinstance(built[1], StaticController)
+        # a spec is a factory: every build is a fresh instance
+        assert specs[2].build() is not specs[2].build()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerSpec("banana")
+
+    def test_static_needs_clusters(self):
+        with pytest.raises(ValueError):
+            ControllerSpec("static")
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = ControllerSpec.explore(ExploreConfig.scaled())
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+
+class TestCacheKey:
+    def test_stable_across_processes(self):
+        a = spec_for()
+        b = spec_for()
+        assert a.cache_key() == b.cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"profile": "swim"},
+            {"seed": 8},
+            {"length": LEN + 1},
+            {"warmup": 123},
+            {"scheme": ControllerSpec.static(8)},
+            {"scheme": ControllerSpec.explore()},
+            {"steering": ("mod-n", 3)},
+            {"record_granularity": 500},
+        ],
+    )
+    def test_any_input_changes_the_key(self, change):
+        assert spec_for().cache_key() != spec_for(**change).cache_key()
+
+    def test_config_changes_the_key(self):
+        base = spec_for()
+        other = dataclasses.replace(base, config=decentralized_config(16))
+        assert base.cache_key() != other.cache_key()
+
+    def test_label_does_not_change_the_key(self):
+        base = spec_for()
+        relabelled = dataclasses.replace(base, label="other-exhibit")
+        assert base.cache_key() == relabelled.cache_key()
+
+
+class TestSerialRunner:
+    def test_results_in_spec_order(self):
+        specs = [
+            spec_for("swim", ControllerSpec.static(16)),
+            spec_for("gzip", ControllerSpec.static(4)),
+        ]
+        records = SweepRunner(jobs=1, use_cache=False).run(specs)
+        assert [r.spec.profile for r in records] == ["swim", "gzip"]
+        assert all(r.ok and not r.from_cache for r in records)
+
+    def test_matches_direct_run_trace(self):
+        """SweepRunner(jobs=1) == the plain serial path, bit for bit."""
+        from repro.workloads.profiles import get_profile
+
+        cache = TraceCache(LEN, seed=7)
+
+        direct = run_trace(
+            cache.get(get_profile("gzip")),
+            default_config(16),
+            StaticController(4),
+            label="test",
+        )
+        [record] = SweepRunner(jobs=1, use_cache=False).run([spec_for("gzip")])
+        assert record.result.ipc == direct.ipc
+        assert record.result.committed == direct.committed
+        assert record.result.stats.snapshot() == direct.stats.snapshot()
+
+    def test_metrics_populated(self):
+        runner = SweepRunner(jobs=1, use_cache=False)
+        runner.run([spec_for(), spec_for("swim")])
+        m = runner.metrics
+        assert m.submitted == m.completed == 2
+        assert m.failed == 0 and m.cache_hits == 0
+        assert len(m.latencies) == 2
+        assert m.p95_seconds >= m.p50_seconds > 0
+        assert 0 < m.busy_seconds <= m.wall_seconds  # jobs=1: no overlap
+        assert m.snapshot()["jobs"] == 1
+
+    def test_progress_hook(self):
+        events = []
+        runner = SweepRunner(jobs=1, use_cache=False, progress=events.append)
+        runner.run([spec_for()])
+        assert len(events) == 1
+        assert events[0]["status"] == "ok"
+        assert events[0]["completed"] == 1 and events[0]["total"] == 1
+
+
+class TestFailureHandling:
+    def test_structured_failure_instead_of_crash(self):
+        bad = spec_for(profile="not-a-benchmark")
+        [record] = SweepRunner(jobs=1, use_cache=False, retries=0).run([bad])
+        assert record.status == "failed"
+        assert "not-a-benchmark" in record.error
+        assert record.result is None
+
+    def test_retry_count(self):
+        runner = SweepRunner(jobs=1, use_cache=False, retries=2)
+        [record] = runner.run([spec_for(profile="not-a-benchmark")])
+        assert record.attempts == 3
+        assert runner.metrics.retries == 2
+        assert runner.metrics.failed == 1
+
+    def test_failures_do_not_stop_the_sweep(self):
+        records = SweepRunner(jobs=1, use_cache=False, retries=0).run(
+            [spec_for(), spec_for(profile="not-a-benchmark"), spec_for("swim")]
+        )
+        assert [r.status for r in records] == ["ok", "failed", "ok"]
+
+    def test_require_ok_raises_with_details(self):
+        records = SweepRunner(jobs=1, use_cache=False, retries=0).run(
+            [spec_for(profile="not-a-benchmark")]
+        )
+        with pytest.raises(RuntimeError, match="not-a-benchmark"):
+            require_ok(records)
+
+    def test_timeout_is_a_structured_record(self):
+        # a 200k-instruction simulation cannot finish in 50ms
+        slow = spec_for(length=200_000)
+        runner = SweepRunner(jobs=1, use_cache=False, retries=0, timeout=0.05)
+        [record] = runner.run([slow])
+        assert record.status == "timeout"
+        assert "timeout" in record.error
+        assert runner.metrics.timeouts == 1
+
+    def test_execute_spec_never_raises(self):
+        record = execute_spec(spec_for(profile="nope"))
+        assert isinstance(record, RunRecord) and record.status == "failed"
+
+
+class TestResultCache:
+    def test_hit_returns_identical_stats(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        [first] = runner.run([spec_for()])
+        [second] = runner.run([spec_for()])
+        assert not first.from_cache and second.from_cache
+        assert second.result.stats.snapshot() == first.result.stats.snapshot()
+        assert second.events == first.events
+        assert runner.metrics.cache_hits == 1
+
+    def test_hit_rewrites_label_for_the_requesting_exhibit(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([spec_for()])
+        base = spec_for()
+        [hit] = runner.run([dataclasses.replace(base, label="figureX")])
+        assert hit.from_cache and hit.result.label == "figureX"
+
+    def test_corrupted_entry_is_evicted_and_recomputed(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        [first] = runner.run([spec_for()])
+        path = tmp_path / f"{spec_for().cache_key()}.pkl"
+        assert path.exists()
+        path.write_bytes(b"this is not a pickle")
+        [again] = runner.run([spec_for()])
+        assert again.ok and not again.from_cache
+        assert again.result.ipc == first.result.ipc
+        # the recomputed result was re-cached over the corrupt entry
+        [third] = runner.run([spec_for()])
+        assert third.from_cache
+
+    def test_wrong_object_in_entry_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        path = tmp_path / f"{spec.cache_key()}.pkl"
+        path.write_bytes(pickle.dumps({"schema": 999, "key": "x", "record": None}))
+        assert cache.get(spec) is None
+        assert not path.exists()
+
+    def test_failed_runs_are_not_cached(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, retries=0)
+        runner.run([spec_for(profile="not-a-benchmark")])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_cache_runner_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = SweepRunner(jobs=1, use_cache=False)
+        runner.run([spec_for()])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_dir_env_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sub"))
+        runner = SweepRunner(jobs=1)
+        runner.run([spec_for()])
+        assert list((tmp_path / "sub").glob("*.pkl"))
+
+
+class TestDeterminism:
+    """Same seed => identical results: serial, jobs=1, and jobs=4."""
+
+    SPECS = None
+
+    @classmethod
+    def specs(cls):
+        if cls.SPECS is None:
+            schemes = {
+                "static-4": ControllerSpec.static(4),
+                "explore": ControllerSpec.explore(ExploreConfig.scaled()),
+                "no-explore": ControllerSpec.no_explore(NoExploreConfig.scaled()),
+            }
+            cls.SPECS = [
+                dataclasses.replace(spec_for(profile), controller=ctl, label=name)
+                for profile in ("gzip", "swim")
+                for name, ctl in schemes.items()
+            ]
+        return cls.SPECS
+
+    @pytest.fixture(scope="class")
+    def serial_records(self):
+        return SweepRunner(jobs=1, use_cache=False).run(self.specs())
+
+    def test_parallel_matches_serial(self, serial_records):
+        parallel = SweepRunner(jobs=4, use_cache=False).run(self.specs())
+        for s, p in zip(serial_records, parallel):
+            assert p.spec == s.spec
+            assert p.result.committed == s.result.committed
+            assert p.result.ipc == s.result.ipc
+            assert p.result.cycles == s.result.cycles
+            assert p.result.stats.reconfigurations == s.result.stats.reconfigurations
+            # the full reconfiguration event sequence, cycle for cycle
+            assert p.events == s.events
+
+    def test_serial_repeat_is_identical(self, serial_records):
+        again = SweepRunner(jobs=1, use_cache=False).run(self.specs())
+        for a, b in zip(serial_records, again):
+            assert a.result.stats.snapshot() == b.result.stats.snapshot()
+            assert a.events == b.events
+
+
+class TestMergeableStats:
+    def test_sweep_aggregate_equals_counter_sums(self):
+        records = SweepRunner(jobs=1, use_cache=False).run(
+            [spec_for("gzip"), spec_for("swim")]
+        )
+        total = SimStats.merged(r.result.stats for r in records)
+        assert total.committed == sum(r.result.stats.committed for r in records)
+        assert total.cycles == sum(r.result.stats.cycles for r in records)
+        assert total.ipc == pytest.approx(total.committed / total.cycles)
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert default_jobs() >= 1
+
+    def test_floor_of_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() >= 1

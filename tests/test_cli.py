@@ -77,3 +77,39 @@ class TestCommands:
         rc = main(["table3", "--benchmarks", "swim", "--length", "4000"])
         assert rc == 0
         assert "Table 3" in capsys.readouterr().out
+
+    def test_exhibit_jobs_and_no_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(["figure3", "--benchmarks", "gzip", "--length", "4000",
+                   "--jobs", "1", "--no-cache"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Figure 3" in captured.out
+        assert "Sweep metrics" in captured.err
+        assert list(tmp_path.iterdir()) == []  # --no-cache: nothing written
+
+    def test_exhibit_uses_cache_dir_env(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(["figure3", "--benchmarks", "gzip", "--length", "4000",
+                   "--jobs", "1"])
+        assert rc == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.pkl"))
+
+    def test_exhibit_metrics_json(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_path = tmp_path / "metrics.json"
+        rc = main(["table3", "--benchmarks", "swim", "--length", "4000",
+                   "--jobs", "1", "--metrics-json", str(out_path)])
+        assert rc == 0
+        capsys.readouterr()
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["jobs"] == 1
+        assert snapshot["completed"] == 1
+        assert snapshot["p50_run_seconds"] >= 0
+
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["figure5", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4 and args.no_cache

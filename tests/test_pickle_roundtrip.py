@@ -1,0 +1,144 @@
+"""Everything the sweep engine ships across process boundaries must pickle.
+
+``SweepRunner`` sends ``RunSpec`` objects to worker processes and receives
+``RunRecord`` objects back; the result cache pickles records to disk.  A
+single non-picklable attribute anywhere in that object graph breaks the
+parallel path with an opaque ``PicklingError`` — so every participating
+type gets an explicit round-trip test here.
+"""
+
+import pickle
+
+import pytest
+
+from repro.config import (
+    decentralized_config,
+    default_config,
+    grid_config,
+    monolithic_config,
+)
+from repro.experiments.runner import run_trace
+from repro.experiments.sweep import ControllerSpec, RunSpec, execute_spec
+from repro.experiments.timeline import Reconfiguration, TimelineRecorder
+from repro.stats import SimStats
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+LEN = 2_000
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestConfigs:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            default_config(16),
+            decentralized_config(16),
+            monolithic_config(),
+            grid_config(16),
+        ],
+        ids=["default", "decentralized", "monolithic", "grid"],
+    )
+    def test_config_roundtrip(self, config):
+        assert roundtrip(config) == config
+
+
+class TestControllers:
+    SPECS = [
+        ControllerSpec.none(),
+        ControllerSpec.static(4),
+        ControllerSpec.explore(),
+        ControllerSpec.no_explore(),
+        ControllerSpec.finegrain(),
+        ControllerSpec.subroutine(),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS, ids=[s.kind for s in SPECS])
+    def test_spec_and_built_controller_roundtrip(self, spec):
+        assert roundtrip(spec) == spec
+        controller = spec.build()
+        clone = roundtrip(controller)
+        assert type(clone) is type(controller)
+
+
+class TestWorkloads:
+    def test_profile_roundtrip(self):
+        profile = get_profile("gzip")
+        assert roundtrip(profile) == profile
+
+    def test_trace_roundtrip(self):
+        trace = generate_trace(get_profile("gzip"), LEN, seed=7)
+        clone = roundtrip(trace)
+        assert len(clone) == len(trace)
+        first, cloned = trace.instructions[0], clone.instructions[0]
+        assert (first.op, first.src1, first.src2) == (
+            cloned.op,
+            cloned.src1,
+            cloned.src2,
+        )
+
+
+class TestResults:
+    def test_simstats_roundtrip(self):
+        stats = SimStats(cycles=100, committed=250, mispredicts=3)
+        assert roundtrip(stats).snapshot() == stats.snapshot()
+
+    def test_run_result_roundtrip(self):
+        trace = generate_trace(get_profile("gzip"), LEN, seed=7)
+        result = run_trace(trace, default_config(16), warmup=500, label="pkl")
+        clone = roundtrip(result)
+        assert clone.ipc == result.ipc
+        assert clone.stats.snapshot() == result.stats.snapshot()
+
+    def test_attached_timeline_recorder_roundtrip(self):
+        """The recorder (and its proxy) must survive pickling even while
+        attached to a live processor — workers build this exact object."""
+        trace = generate_trace(get_profile("swim"), LEN, seed=7)
+        recorder = TimelineRecorder(ControllerSpec.explore().build())
+        result = run_trace(trace, default_config(16), recorder, warmup=500)
+        assert result.committed > 0
+        clone = roundtrip(recorder)
+        assert clone.events == recorder.events
+        assert type(clone.inner) is type(recorder.inner)
+
+    def test_reconfiguration_event_roundtrip(self):
+        event = Reconfiguration(cycle=10, committed=5, clusters=8)
+        assert roundtrip(event) == event
+
+
+class TestSweepTypes:
+    def test_run_spec_roundtrip(self):
+        spec = RunSpec(
+            profile="gzip",
+            trace_length=LEN,
+            config=default_config(16),
+            controller=ControllerSpec.no_explore(),
+            steering=("mod-n", 3),
+            label="pkl",
+        )
+        clone = roundtrip(spec)
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_run_record_roundtrip(self):
+        spec = RunSpec(
+            profile="gzip",
+            trace_length=LEN,
+            config=default_config(16),
+            controller=ControllerSpec.explore(),
+        )
+        record = execute_spec(spec)
+        assert record.ok
+        clone = roundtrip(record)
+        assert clone.status == "ok"
+        assert clone.result.stats.snapshot() == record.result.stats.snapshot()
+        assert clone.events == record.events
+
+    def test_failed_record_roundtrip(self):
+        record = execute_spec(RunSpec(profile="not-a-benchmark", trace_length=LEN))
+        assert record.status == "failed"
+        clone = roundtrip(record)
+        assert clone.error == record.error

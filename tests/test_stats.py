@@ -88,3 +88,40 @@ class TestIntervalRecord:
         records = [IntervalRecord(10, 5, 1, 2)] * 7
         merged = merge_records(records, 3)
         assert len(merged) == 2  # 7 // 3
+
+
+class TestMerge:
+    def test_merge_adds_every_field(self):
+        import dataclasses
+
+        a = SimStats(**{f.name: 2 for f in dataclasses.fields(SimStats)})
+        b = SimStats(**{f.name: 3 for f in dataclasses.fields(SimStats)})
+        out = a.merge(b)
+        assert out is a  # in place, returns self for chaining
+        for f in dataclasses.fields(SimStats):
+            assert getattr(a, f.name) == 5, f.name
+        # the donor is untouched
+        assert all(getattr(b, f.name) == 3 for f in dataclasses.fields(SimStats))
+
+    def test_merged_classmethod_sums_runs(self):
+        runs = [
+            SimStats(cycles=100, committed=250, mispredicts=2),
+            SimStats(cycles=50, committed=25, mispredicts=1),
+        ]
+        total = SimStats.merged(runs)
+        assert total.cycles == 150
+        assert total.committed == 275
+        assert total.mispredicts == 3
+        assert total.ipc == pytest.approx(275 / 150)
+
+    def test_merged_empty_is_zero(self):
+        total = SimStats.merged([])
+        assert total.cycles == 0 and total.ipc == 0.0
+
+    def test_merge_is_associative(self):
+        a = SimStats(cycles=10, committed=20)
+        b = SimStats(cycles=30, committed=5)
+        c = SimStats(cycles=7, committed=13)
+        left = SimStats.merged([SimStats.merged([a, b]), c])
+        right = SimStats.merged([a, SimStats.merged([b, c])])
+        assert left.snapshot() == right.snapshot()
