@@ -41,9 +41,10 @@ from .experiments import (
     table3,
     table4,
 )
-from .experiments.reporting import format_sweep_metrics
+from .errors import SweepError, SweepInterrupted
+from .experiments.reporting import format_failure_table, format_sweep_metrics
 from .experiments.runner import run_trace
-from .experiments.sweep import SweepRunner, default_jobs
+from .experiments.sweep import SweepRunner, default_cache_dir, default_jobs
 from .workloads.generator import generate_trace
 from .workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, get_profile
 
@@ -129,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         ex.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write sweep metrics (cache hits, latency "
                              "percentiles, utilization) as JSON")
+        ex.add_argument("--journal", default=None, metavar="PATH",
+                        help="append every completed run to this JSONL "
+                             "checkpoint journal (default with --resume: "
+                             "<cache dir>/journals/<exhibit>.jsonl)")
+        ex.add_argument("--resume", action="store_true",
+                        help="skip runs already completed in the journal "
+                             "(restart a killed sweep where it died)")
     return parser
 
 
@@ -163,18 +171,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _journal_path(name: str, args: argparse.Namespace):
+    """Resolve the checkpoint journal path for an exhibit command."""
+    if args.journal:
+        return args.journal
+    if args.resume:
+        return default_cache_dir() / "journals" / f"{name}.jsonl"
+    return None
+
+
 def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
     generate, render = _EXHIBITS[name]
     runner = SweepRunner(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
         use_cache=not args.no_cache,
         timeout=args.timeout,
+        journal=_journal_path(name, args),
+        resume=args.resume,
     )
-    results = generate(
-        benchmarks=_parse_benchmarks(args.benchmarks),
-        trace_length=args.length,
-        runner=runner,
-    )
+    try:
+        results = generate(
+            benchmarks=_parse_benchmarks(args.benchmarks),
+            trace_length=args.length,
+            runner=runner,
+        )
+    except SweepInterrupted as interrupt:
+        print(f"\n{interrupt}", file=sys.stderr)
+        if runner.journal is not None:
+            print(f"[resume with: python -m repro {name} --resume"
+                  f" --journal {runner.journal.path}]", file=sys.stderr)
+        return 130
+    except SweepError as failure:
+        # never present an exhibit with silent holes in its matrix: show
+        # the failure table and exit nonzero
+        print(format_failure_table(failure.records), file=sys.stderr)
+        print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)
+        return 1
     print(render(results))
     print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)
     if args.metrics_json:

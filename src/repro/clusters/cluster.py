@@ -59,6 +59,19 @@ class Cluster:
     def reg_occupancy(self) -> int:
         return self._int_regs + self._fp_regs
 
+    def occupancy_by_half(self):
+        """``(name, occupancy, capacity)`` per structure half, for the
+        runtime invariant checker — occupancy may never leave
+        ``[0, capacity]``."""
+        iq_cap = self.config.issue_queue_size
+        rf_cap = self.config.regfile_size
+        return (
+            ("int issue queue", self._int_iq, iq_cap),
+            ("fp issue queue", self._fp_iq, iq_cap),
+            ("int register file", self._int_regs, rf_cap),
+            ("fp register file", self._fp_regs, rf_cap),
+        )
+
     # ------------------------------------------------------------------
     # state transitions (called by the pipeline)
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -158,6 +158,14 @@ class ProcessorConfig:
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
     #: cluster that hosts the centralized LSQ/cache, the L2, and the front end
     home_cluster: int = 0
+    #: sampled runtime invariant checking (ROB ordering, occupancy caps,
+    #: message conservation, IPC bounds): True/False, or None = consult the
+    #: ``REPRO_CHECK_INVARIANTS`` environment variable (tests turn it on).
+    #: Excluded from repr/eq so it never perturbs cache keys or config
+    #: comparisons — checking is observation, not configuration.
+    check_invariants: Optional[bool] = field(default=None, repr=False, compare=False)
+    #: cycles between sampled invariant checks
+    invariant_sample_period: int = field(default=64, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_clusters < 1:

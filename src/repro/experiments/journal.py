@@ -1,0 +1,113 @@
+"""Crash-safe checkpoint journal for sweeps.
+
+A :class:`SweepJournal` is an append-only JSONL file recording every
+*final* :class:`~repro.experiments.sweep.RunRecord` of a sweep — successes
+and structured failures alike.  Each line is::
+
+    {"schema": 1, "key": <spec cache key>, "status": "ok",
+     "sha256": <hex digest of payload>, "payload": <base64 pickle>}
+
+Appends are atomic at the line level (one ``write`` call) and fsync'd, so
+a sweep killed at any instant — including mid-append — leaves at worst one
+truncated final line, which :meth:`load` skips.  The journal key is the
+spec's content hash, which covers the simulator source digest: resuming
+after a code edit re-runs everything instead of resurrecting stale
+results.
+
+Resume semantics: :meth:`load_ok` returns only successful records.
+Failed/timed-out/poisoned lines are kept for the post-mortem but are *not*
+skipped on resume — a resumed sweep re-attempts them (a crash or timeout
+is often environmental, and re-running is exactly what resume is for).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+from typing import Dict, Optional
+
+#: bump when the line layout changes
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep runs."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        #: lines that failed to parse/verify during the last :meth:`load`
+        self.corrupt_lines = 0
+
+    # ------------------------------------------------------------------
+    def append(self, record) -> None:
+        """Durably append one final record (atomic line write + fsync)."""
+        payload = pickle.dumps(record)
+        line = (
+            json.dumps(
+                {
+                    "schema": JOURNAL_SCHEMA_VERSION,
+                    "key": record.spec.cache_key(),
+                    "status": record.status,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "payload": base64.b64encode(payload).decode("ascii"),
+                }
+            )
+            + "\n"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="ascii") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, object]:
+        """Every verifiable journaled record, keyed by spec cache key.
+
+        Corrupt, truncated, or checksum-mismatched lines are counted in
+        :attr:`corrupt_lines` and skipped — never fatal.  Later lines win
+        when a key repeats (e.g. a failure later re-run to success).
+        """
+        self.corrupt_lines = 0
+        records: Dict[str, object] = {}
+        try:
+            with open(self.path, "r", encoding="ascii") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return records
+        for line in lines:
+            record = self._parse_line(line)
+            if record is None:
+                if line.strip():
+                    self.corrupt_lines += 1
+                continue
+            key, rec = record
+            records[key] = rec
+        return records
+
+    def load_ok(self) -> Dict[str, object]:
+        """Only the successful records — what a resumed sweep skips."""
+        return {k: r for k, r in self.load().items() if getattr(r, "ok", False)}
+
+    def _parse_line(self, line: str) -> Optional[tuple]:
+        from .sweep import RunRecord  # deferred: sweep imports this module
+
+        try:
+            entry = json.loads(line)
+            if entry["schema"] != JOURNAL_SCHEMA_VERSION:
+                return None
+            payload = base64.b64decode(entry["payload"], validate=True)
+            if hashlib.sha256(payload).hexdigest() != entry["sha256"]:
+                return None
+            record = pickle.loads(payload)
+            if not isinstance(record, RunRecord):
+                return None
+            if record.spec.cache_key() != entry["key"]:
+                return None
+            return entry["key"], record
+        except Exception:
+            return None

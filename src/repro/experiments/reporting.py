@@ -64,7 +64,37 @@ def format_sweep_metrics(metrics) -> str:
         ["run latency p50 / p95",
          f"{metrics.p50_seconds:.2f}s / {metrics.p95_seconds:.2f}s"],
     ]
+    # fault-tolerance counters only earn a row when something happened
+    if metrics.journal_skips:
+        rows.append(["resumed from journal", metrics.journal_skips])
+    if metrics.pool_respawns or metrics.poisoned:
+        rows.append(["pool respawns / poisoned",
+                     f"{metrics.pool_respawns} / {metrics.poisoned}"])
+    if metrics.journal_errors:
+        rows.append(["journal write errors", metrics.journal_errors])
     return format_table(["metric", "value"], rows, "Sweep metrics")
+
+
+def format_failure_table(records) -> str:
+    """ASCII table of every not-ok :class:`RunRecord` in ``records``.
+
+    The CLI prints this (and exits nonzero) instead of presenting an
+    exhibit with silent holes in its matrix.
+    """
+    rows = []
+    for r in records:
+        if r.ok:
+            continue
+        error = r.error if len(r.error) <= 72 else r.error[:69] + "..."
+        rows.append(
+            [r.spec.profile, r.spec.label or r.spec.controller.kind,
+             r.status, r.attempts, error]
+        )
+    return format_table(
+        ["benchmark", "scheme", "status", "attempts", "error"],
+        rows,
+        f"Sweep failures ({len(rows)} run(s))",
+    )
 
 
 def ipc_table(

@@ -21,23 +21,50 @@ harness) fan out on:
 Determinism is the design constraint: ``SweepRunner(jobs=4)`` must produce
 the same :class:`~repro.stats.SimStats` as ``jobs=1`` and as the plain
 ``run_trace`` loop, for the same seeds.
+
+Fault tolerance is the second design constraint.  A sweep survives —
+always with a structured record, never an unhandled exception — all of:
+
+* a worker hard-crash (``BrokenProcessPool``): the pool is respawned and
+  the in-flight specs re-queued; a spec that repeatedly kills workers is
+  *quarantined* with ``status="poisoned"`` rather than retried forever
+  (suspects are probed one-at-a-time after a crash, so an innocent spec
+  that happened to share the pool with a crasher is never blamed);
+* SIGINT/SIGTERM: in-flight runs drain, finished results are flushed to
+  the journal, then :class:`~repro.errors.SweepInterrupted` carries the
+  partial records out;
+* a corrupted or bit-rotten cache entry: detected by checksum *before*
+  unpickling, evicted, recomputed;
+* a killed sweep: pass ``journal=``/``resume=True`` (CLI ``--resume``) and
+  completed work is skipped on the next attempt — the resumed exhibit is
+  bit-identical to an uninterrupted run.
+
+Transient failures back off exponentially with full jitter between
+retries (``retry_backoff`` base seconds, doubling per attempt, capped).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import math
 import os
 import pathlib
 import pickle
+import random
 import signal
 import tempfile
 import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..config import ProcessorConfig
+from ..errors import SimulationError, SweepError, SweepInterrupted
 from ..core import (
     DistantILPController,
     ExploreConfig,
@@ -51,6 +78,7 @@ from ..core import (
 from ..stats import IntervalRecord
 from ..workloads.generator import generate_trace
 from ..workloads.profiles import get_profile
+from .journal import SweepJournal
 from .runner import DEFAULT_WARMUP, RunResult, run_trace
 from .timeline import Reconfiguration, TimelineRecorder
 
@@ -60,7 +88,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 JOBS_ENV = "REPRO_JOBS"
 
 #: bump when the cached payload layout changes
-CACHE_SCHEMA_VERSION = 1
+#: (v2: payload carries a SHA-256 checksum of the pickled record, verified
+#: before unpickling, so bit-rot and truncation are detected up front)
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -218,10 +248,14 @@ def _code_digest() -> str:
 
 @dataclass
 class RunRecord:
-    """Outcome of one sweep entry — success or structured failure."""
+    """Outcome of one sweep entry — success or structured failure.
+
+    ``status="poisoned"`` marks a spec quarantined after repeatedly
+    hard-crashing worker processes; it is final and never retried.
+    """
 
     spec: RunSpec
-    status: str  # "ok" | "failed" | "timeout"
+    status: str  # "ok" | "failed" | "timeout" | "poisoned"
     result: Optional[RunResult] = None
     #: interval recording (``record_granularity`` mode) instead of a result
     records: Optional[List[IntervalRecord]] = None
@@ -231,10 +265,24 @@ class RunRecord:
     attempts: int = 1
     duration: float = 0.0
     from_cache: bool = False
+    #: satisfied from a checkpoint journal during a resumed sweep
+    from_journal: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def relabelled_for(self, spec: RunSpec) -> "RunRecord":
+        """A copy of this record carrying ``spec``'s label and identity.
+
+        Cache and journal hits may have been stored by another exhibit
+        under a different label; the *copy* keeps the stored record (and
+        any other reader of the same entry) unmutated.
+        """
+        result = self.result
+        if result is not None:
+            result = dataclasses.replace(result, label=spec.label)
+        return dataclasses.replace(self, spec=spec, result=result)
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +349,29 @@ def _run_spec(spec: RunSpec) -> RunRecord:
     )
 
 
+def _validate_record(record: RunRecord) -> None:
+    """Sweep-level sanity gate on a finished result.
+
+    A simulation that *completes* but reports NaN or impossible numbers is
+    more dangerous than one that crashes — it silently poisons an exhibit.
+    Raises :class:`SimulationError` (becoming a structured failure).
+    """
+    result = record.result
+    if result is None:
+        return
+    width = record.spec.config.front_end.commit_width
+    if not math.isfinite(result.ipc) or not 0 <= result.ipc <= width:
+        raise SimulationError(
+            f"result IPC {result.ipc!r} outside sane bounds [0, {width}] "
+            f"for {record.spec.profile}"
+        )
+    if result.committed < 0 or result.cycles <= 0:
+        raise SimulationError(
+            f"impossible result: {result.committed} committed in "
+            f"{result.cycles} cycles for {record.spec.profile}"
+        )
+
+
 def execute_spec(spec: RunSpec, timeout: Optional[float] = None) -> RunRecord:
     """Run one spec, converting any failure into a structured record.
 
@@ -320,7 +391,11 @@ def execute_spec(spec: RunSpec, timeout: Optional[float] = None) -> RunRecord:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return _run_spec(spec)
+        faults.on_execute(spec)
+        record = _run_spec(spec)
+        faults.poison_record(record)
+        _validate_record(record)
+        return record
     except _RunTimeout:
         return RunRecord(
             spec=spec,
@@ -349,8 +424,11 @@ class ResultCache:
     """Content-addressed pickle-per-entry cache under one directory.
 
     Entries are written atomically (temp file + rename) so concurrent
-    sweeps sharing a cache directory cannot observe torn writes; a corrupt
-    or mismatched entry is evicted and recomputed, never fatal.
+    sweeps sharing a cache directory cannot observe torn writes.  Each
+    entry stores the pickled record alongside its SHA-256, verified
+    *before* unpickling — a bit-rotten or truncated payload is evicted up
+    front, never fed to the unpickler.  A corrupt or mismatched entry is
+    evicted and recomputed, never fatal.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None) -> None:
@@ -367,7 +445,10 @@ class ResultCache:
                 payload = pickle.load(fh)
             if payload["schema"] != CACHE_SCHEMA_VERSION or payload["key"] != key:
                 raise ValueError("cache entry does not match its key")
-            record: RunRecord = payload["record"]
+            record_bytes = payload["record"]
+            if hashlib.sha256(record_bytes).hexdigest() != payload["sha256"]:
+                raise ValueError("cache entry failed its checksum (bit rot?)")
+            record = pickle.loads(record_bytes)
             if not isinstance(record, RunRecord) or not record.ok:
                 raise ValueError("cache entry is not a successful RunRecord")
         except FileNotFoundError:
@@ -375,11 +456,11 @@ class ResultCache:
         except Exception:
             self.evict(key)
             return None
-        # the stored spec may carry another exhibit's label; report ours
-        record.spec = spec
+        # the stored spec may carry another exhibit's label; report ours on
+        # a copy, so two exhibits sharing one entry cannot clobber each
+        # other's labels
+        record = record.relabelled_for(spec)
         record.from_cache = True
-        if record.result is not None:
-            record.result.label = spec.label
         return record
 
     def put(self, record: RunRecord) -> None:
@@ -387,7 +468,15 @@ class ResultCache:
             return
         key = record.spec.cache_key()
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        record_bytes = pickle.dumps(record)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(record_bytes).hexdigest(),
+            # fault hook: chaos tests corrupt the payload here to prove the
+            # checksum catches it on the way back in (no-op otherwise)
+            "record": faults.corrupt_cache_payload(record_bytes),
+        }
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -430,6 +519,14 @@ class SweepMetrics:
     retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: specs satisfied from the checkpoint journal on a resumed sweep
+    journal_skips: int = 0
+    #: worker-pool respawns after a ``BrokenProcessPool``
+    pool_respawns: int = 0
+    #: specs quarantined after repeatedly crashing worker processes
+    poisoned: int = 0
+    #: journal append failures tolerated (read-only journal dir etc.)
+    journal_errors: int = 0
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)
@@ -470,6 +567,9 @@ class SweepMetrics:
             "failed": self.failed,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "journal_skips": self.journal_skips,
+            "pool_respawns": self.pool_respawns,
+            "poisoned": self.poisoned,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.hit_rate, 4),
@@ -496,6 +596,10 @@ def default_jobs() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+#: backoff delays are capped at this many seconds regardless of attempt
+MAX_RETRY_BACKOFF = 30.0
+
+
 class SweepRunner:
     """Fan independent :class:`RunSpec` runs out across worker processes.
 
@@ -514,10 +618,30 @@ class SweepRunner:
     retries:
         Extra attempts per failed/timed-out run before recording the
         structured failure.
+    retry_backoff:
+        Base seconds of exponential backoff between retries: before
+        attempt ``n+1`` the runner sleeps ``uniform(0, base * 2**(n-1))``
+        (full jitter), capped at :data:`MAX_RETRY_BACKOFF`.  ``0`` (the
+        default) retries immediately — right for deterministic in-process
+        failures, wrong for flaky shared infrastructure.
+    journal:
+        A :class:`~repro.experiments.journal.SweepJournal` (or a path to
+        one): every final record is durably appended, so a killed sweep
+        can be resumed.
+    resume:
+        Skip specs whose successful records are already in the journal.
+    poison_threshold:
+        Solo worker crashes a spec may cause before it is quarantined with
+        ``status="poisoned"``.
     progress:
         Optional callable invoked after every completed run with a dict
         (``profile``, ``label``, ``status``, ``from_cache``, ``duration``,
         ``completed``, ``total``).
+
+    While ``run()`` executes on the main thread, SIGINT/SIGTERM request a
+    *drain*: no new work starts, in-flight runs finish and are journaled,
+    then :class:`~repro.errors.SweepInterrupted` is raised carrying the
+    completed records.  A second signal aborts immediately.
     """
 
     def __init__(
@@ -527,6 +651,10 @@ class SweepRunner:
         use_cache: bool = True,
         timeout: Optional[float] = None,
         retries: int = 1,
+        retry_backoff: float = 0.0,
+        journal: Optional[object] = None,
+        resume: bool = False,
+        poison_threshold: int = 3,
         progress: Optional[Callable[[Dict], None]] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -534,8 +662,16 @@ class SweepRunner:
         self.cache = ResultCache(cache_dir) if use_cache else None
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(journal)
+        self.journal: Optional[SweepJournal] = journal
+        self.resume = resume
+        self.poison_threshold = max(1, int(poison_threshold))
         self.progress = progress
         self.metrics = SweepMetrics(jobs=self.jobs)
+        self._drain_requested = False
+        self._journaled_keys: set = set()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -549,27 +685,89 @@ class SweepRunner:
         start = time.perf_counter()
         self.metrics.submitted += len(specs)
         records: List[Optional[RunRecord]] = [None] * len(specs)
+        self._drain_requested = False
+
+        journaled: Dict[str, RunRecord] = {}
+        if self.journal is not None and self.resume:
+            journaled = self.journal.load_ok()
+            self._journaled_keys.update(journaled)
 
         pending: List[Tuple[int, RunSpec]] = []
         for i, spec in enumerate(specs):
+            done = journaled.get(spec.cache_key())
+            if done is not None:
+                done = done.relabelled_for(spec)
+                done.from_journal = True
+                records[i] = done
+                self.metrics.journal_skips += 1
+                self._note_done(done)
+                continue
             hit = self.cache.get(spec) if self.cache else None
             if hit is not None:
                 records[i] = hit
                 self.metrics.cache_hits += 1
+                self._journal_append(hit)
                 self._note_done(hit)
             else:
                 if self.cache:
                     self.metrics.cache_misses += 1
                 pending.append((i, spec))
 
-        if pending:
-            if self.jobs <= 1:
-                self._run_serial(pending, records)
-            else:
-                self._run_parallel(pending, records)
+        with self._signal_drain():
+            if pending:
+                if self.jobs <= 1:
+                    self._run_serial(pending, records)
+                else:
+                    self._run_parallel(pending, records)
 
         self.metrics.wall_seconds += time.perf_counter() - start
-        return [r for r in records if r is not None]
+        done_records = [r for r in records if r is not None]
+        if self._drain_requested:
+            raise SweepInterrupted(
+                f"sweep interrupted: {len(done_records)} of {len(specs)} runs "
+                "completed and flushed"
+                + (" to the journal" if self.journal is not None else ""),
+                completed=done_records,
+            )
+        return done_records
+
+    # ------------------------------------------------------------------
+    # signal draining
+
+    def _signal_drain(self):
+        """Context manager installing drain-on-SIGINT/SIGTERM handlers.
+
+        Only active on the main thread (signal handlers cannot be
+        installed elsewhere); a no-op context otherwise.
+        """
+        runner = self
+
+        class _Guard:
+            def __enter__(self):
+                self.previous = []
+                if threading.current_thread() is not threading.main_thread():
+                    return self
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        self.previous.append(
+                            (signum, signal.signal(signum, runner._on_signal))
+                        )
+                    except (ValueError, OSError):  # pragma: no cover
+                        pass
+                return self
+
+            def __exit__(self, *exc):
+                for signum, handler in self.previous:
+                    signal.signal(signum, handler)
+                return False
+
+        return _Guard()
+
+    def _on_signal(self, signum, frame) -> None:
+        if self._drain_requested:
+            # second signal: the user means it — abort without draining
+            raise KeyboardInterrupt
+        self._drain_requested = True
 
     # ------------------------------------------------------------------
     def _finish(self, index: int, record: RunRecord, attempts: int,
@@ -581,7 +779,22 @@ class SweepRunner:
                 self.cache.put(record)
             except Exception:
                 pass  # a read-only cache dir must not kill the sweep
+        self._journal_append(record)
         self._note_done(record)
+
+    def _journal_append(self, record: RunRecord) -> None:
+        if self.journal is None:
+            return
+        key = record.spec.cache_key()
+        if key in self._journaled_keys and record.ok:
+            return  # already durably recorded; avoid bloating the journal
+        try:
+            self.journal.append(record)
+            if record.ok:
+                self._journaled_keys.add(key)
+        except Exception:
+            # a read-only journal dir degrades resume, not the sweep
+            self.metrics.journal_errors += 1
 
     def _note_done(self, record: RunRecord) -> None:
         m = self.metrics
@@ -590,7 +803,9 @@ class SweepRunner:
             m.failed += 1
         elif record.status == "timeout":
             m.timeouts += 1
-        if not record.from_cache:
+        elif record.status == "poisoned":
+            m.poisoned += 1
+        if not record.from_cache and not record.from_journal:
             m.busy_seconds += record.duration
             m.latencies.append(record.duration)
         if self.progress:
@@ -606,49 +821,138 @@ class SweepRunner:
                 }
             )
 
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with full jitter before retry ``attempt+1``."""
+        if self.retry_backoff <= 0:
+            return
+        ceiling = min(
+            self.retry_backoff * (2 ** max(0, attempt - 1)), MAX_RETRY_BACKOFF
+        )
+        time.sleep(random.uniform(0, ceiling))
+
     def _run_serial(self, pending, records) -> None:
         for index, spec in pending:
+            if self._drain_requested:
+                return
             attempts = 0
             while True:
                 attempts += 1
                 record = execute_spec(spec, self.timeout)
-                if record.ok or attempts > self.retries:
+                if record.ok or attempts > self.retries or self._drain_requested:
                     break
                 self.metrics.retries += 1
+                self._backoff(attempts)
             self._finish(index, record, attempts, records)
 
     def _run_parallel(self, pending, records) -> None:
+        """Pool fan-out with crash isolation.
+
+        At most ``jobs`` futures are in flight (the runner throttles its
+        own submissions), so when the pool breaks the in-flight set is
+        exactly the set of specs that might have killed the worker.  Those
+        suspects are re-run *one at a time* after the respawn: a spec that
+        crashes the pool while flying solo is provably the culprit, so
+        blame — and eventual quarantine — never lands on an innocent spec
+        that merely shared the pool with a crasher.
+        """
+        queue: Deque[Tuple[int, RunSpec]] = deque(pending)
+        probe: Deque[Tuple[int, RunSpec]] = deque()  # crash suspects, run solo
         attempts: Dict[int, int] = {}
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                pool.submit(execute_spec, spec, self.timeout): (index, spec)
-                for index, spec in pending
-            }
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, spec = futures.pop(future)
-                    attempts[index] = attempts.get(index, 0) + 1
+        crashes: Dict[int, int] = {}
+
+        while queue or probe:
+            if self._drain_requested:
+                return
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            futures: Dict[object, Tuple[int, RunSpec]] = {}
+            broken = False
+
+            def top_up() -> None:
+                # probes fly alone; otherwise keep the pool saturated
+                nonlocal broken
+                while not self._drain_requested and not broken:
+                    if probe:
+                        if futures:
+                            return
+                        index, spec = probe.popleft()
+                    elif queue and len(futures) < self.jobs:
+                        index, spec = queue.popleft()
+                    else:
+                        return
                     try:
-                        record = future.result()
-                    except Exception as exc:  # pool-level failure
-                        record = RunRecord(
-                            spec=spec,
-                            status="failed",
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                    if not record.ok and attempts[index] <= self.retries:
-                        self.metrics.retries += 1
                         futures[pool.submit(execute_spec, spec, self.timeout)] = (
                             index,
                             spec,
                         )
-                        continue
-                    self._finish(index, record, attempts[index], records)
+                    except BrokenProcessPool:
+                        # pool died before this spec even ran: not a suspect
+                        broken = True
+                        queue.appendleft((index, spec))
+                        return
+
+            try:
+                top_up()
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, spec = futures.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            if not futures:  # crashed flying solo: guilty
+                                crashes[index] = crashes.get(index, 0) + 1
+                                if crashes[index] >= self.poison_threshold:
+                                    self._finish(
+                                        index,
+                                        RunRecord(
+                                            spec=spec,
+                                            status="poisoned",
+                                            error=(
+                                                "crashed the worker process "
+                                                f"{crashes[index]} times; "
+                                                "quarantined"
+                                            ),
+                                        ),
+                                        attempts.get(index, 0) + crashes[index],
+                                        records,
+                                    )
+                                    continue
+                            probe.append((index, spec))
+                            continue
+                        except Exception as exc:  # pool-level failure
+                            record = RunRecord(
+                                spec=spec,
+                                status="failed",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        attempts[index] = attempts.get(index, 0) + 1
+                        if (
+                            not record.ok
+                            and attempts[index] <= self.retries
+                            and not self._drain_requested
+                        ):
+                            self.metrics.retries += 1
+                            self._backoff(attempts[index])
+                            queue.append((index, spec))
+                            continue
+                        self._finish(index, record, attempts[index], records)
+                    if broken:
+                        # the pool is dead; every other in-flight spec is a
+                        # suspect — requeue for solo probing, then respawn
+                        probe.extend(futures.values())
+                        futures.clear()
+                        break
+                    top_up()
+            finally:
+                if broken:
+                    self.metrics.pool_respawns += 1
+                pool.shutdown(wait=not broken, cancel_futures=True)
 
 
 def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:
-    """Raise with every structured failure if any record is not ok."""
+    """Raise :class:`~repro.errors.SweepError` (listing every structured
+    failure, with all records attached) if any record is not ok."""
     bad = [r for r in records if not r.ok]
     if bad:
         lines = [
@@ -656,7 +960,8 @@ def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:
             f"{r.status} after {r.attempts} attempt(s) — {r.error}"
             for r in bad
         ]
-        raise RuntimeError(
-            f"{len(bad)} of {len(records)} sweep runs failed:\n" + "\n".join(lines)
+        raise SweepError(
+            f"{len(bad)} of {len(records)} sweep runs failed:\n" + "\n".join(lines),
+            records=records,
         )
     return list(records)

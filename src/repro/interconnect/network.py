@@ -48,6 +48,10 @@ class Network:
         self._links = SlotReserver(
             self.topology.num_links, max(1, config.link_bandwidth)
         )
+        #: messages this network scheduled, maintained alongside the stats
+        #: counters so the invariant checker can verify conservation (every
+        #: scheduled message accounted exactly once in the statistics)
+        self.messages_sent = 0
 
     def reset_contention(self) -> None:
         """Forget all link reservations (used when the pipeline is flushed)."""
@@ -86,6 +90,7 @@ class Network:
             arrival = start_cycle + self.uncontended_latency(src, dst)
 
         latency = arrival - start_cycle
+        self.messages_sent += 1
         if kind == "memory":
             self.stats.memory_transfers += 1
             self.stats.memory_transfer_cycles += latency
@@ -127,6 +132,7 @@ class Network:
                         ready += hop
                     node = (node + direction) % n
                     arrivals[node] = min(arrivals.get(node, ready), ready)
+                    self.messages_sent += 1
                     self.stats.memory_transfers += 1
                     self.stats.memory_transfer_cycles += ready - start_cycle
             return arrivals

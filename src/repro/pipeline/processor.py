@@ -30,6 +30,7 @@ from ..interconnect.network import Network
 from ..memory.hierarchy import build_memory
 from ..stats import SimStats
 from ..workloads.instruction import Instr, OpClass, Trace
+from .invariants import InvariantChecker, invariants_enabled
 from .rob import InFlight, ReorderBuffer
 
 #: safety multiplier: a run may not take more than this many cycles per
@@ -77,6 +78,10 @@ class ClusteredProcessor:
         )
         if controller is not None:
             controller.attach(self)
+
+        #: sampled structural checks (read-only, so results are identical
+        #: with checking on or off); see :mod:`repro.pipeline.invariants`
+        self.invariants = InvariantChecker(self) if invariants_enabled(config) else None
 
     # ------------------------------------------------------------------
     # reconfiguration interface (used by controllers)
@@ -365,6 +370,8 @@ class ClusteredProcessor:
         self._issue()
         self._dispatch()
         self.fetch_unit.fetch(self.cycle)
+        if self.invariants is not None:
+            self.invariants.maybe_check()
 
     @property
     def finished(self) -> bool:
@@ -382,6 +389,8 @@ class ClusteredProcessor:
                     f"pipeline wedged: {self.stats.committed} committed in "
                     f"{self.cycle} cycles"
                 )
+        if self.invariants is not None:
+            self.invariants.check()
         return self.stats
 
 

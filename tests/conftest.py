@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
+# Runtime invariant checking (repro.pipeline.invariants) is on for the
+# whole test suite — including sweep worker processes, which inherit the
+# environment.  Checks are read-only, so results are identical either way.
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
+
 import pytest
 
 from repro import default_config, generate_trace, get_profile

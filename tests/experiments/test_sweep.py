@@ -192,6 +192,27 @@ class TestFailureHandling:
         assert isinstance(record, RunRecord) and record.status == "failed"
 
 
+class TestTimeoutWithoutSigalrm:
+    def test_non_main_thread_runs_unbounded_instead_of_crashing(self):
+        """SIGALRM cannot be armed outside the main thread (or off Unix);
+        execute_spec must fall back to an unbounded run, not crash —
+        documented platform caveat in docs/SWEEPS.md."""
+        import threading
+
+        out = {}
+
+        def worker():
+            out["record"] = execute_spec(spec_for(), timeout=0.0001)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        # the timeout was far exceeded, but with no alarm available the
+        # run completes ok rather than raising or killing the thread
+        assert out["record"].ok
+
+
 class TestResultCache:
     def test_hit_returns_identical_stats(self, tmp_path):
         runner = SweepRunner(jobs=1, cache_dir=tmp_path)
@@ -221,6 +242,36 @@ class TestResultCache:
         # the recomputed result was re-cached over the corrupt entry
         [third] = runner.run([spec_for()])
         assert third.from_cache
+
+    def test_bit_flip_fails_checksum_before_unpickling(self, tmp_path):
+        """A single flipped byte in the stored record defeats the SHA-256
+        and the entry is evicted — the unpickler never sees rotten bytes."""
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([spec_for()])
+        path = tmp_path / f"{spec_for().cache_key()}.pkl"
+        payload = pickle.loads(path.read_bytes())
+        assert payload["schema"] == 2 and "sha256" in payload
+        rotten = bytearray(payload["record"])
+        rotten[len(rotten) // 2] ^= 0x01
+        payload["record"] = bytes(rotten)
+        path.write_bytes(pickle.dumps(payload))
+        assert ResultCache(tmp_path).get(spec_for()) is None
+        assert not path.exists()  # evicted
+        [again] = runner.run([spec_for()])
+        assert again.ok and not again.from_cache  # recomputed, no exception
+
+    def test_hit_is_an_independent_copy(self, tmp_path):
+        """get() must hand out a copy: mutating one exhibit's hit cannot
+        leak into another exhibit sharing the same cache entry."""
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([spec_for()])
+        first = cache.get(spec_for())
+        first.result.ipc = -123.0  # one consumer misbehaves
+        object.__setattr__(first.spec, "profile", "clobbered")
+        second = cache.get(spec_for())
+        assert second.result.ipc != -123.0
+        assert second.spec.profile == "gzip"
 
     def test_wrong_object_in_entry_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path)

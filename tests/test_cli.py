@@ -113,3 +113,43 @@ class TestCommands:
     def test_jobs_flag_parses(self):
         args = build_parser().parse_args(["figure5", "--jobs", "4", "--no-cache"])
         assert args.jobs == 4 and args.no_cache
+
+    def test_resume_and_journal_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure3", "--resume", "--journal", "/tmp/j.jsonl"]
+        )
+        assert args.resume and args.journal == "/tmp/j.jsonl"
+        args = build_parser().parse_args(["figure3"])
+        assert not args.resume and args.journal is None
+
+
+class TestFaultReporting:
+    def test_failed_run_exits_nonzero_with_failure_table(
+        self, capsys, monkeypatch
+    ):
+        """An exhibit with a hole in its matrix must not render: the CLI
+        prints the failure table to stderr and exits 1."""
+        from repro.faults import FAULT_PLAN_ENV, FaultPlan
+
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV, FaultPlan(fail_profiles=("gzip",)).to_json()
+        )
+        rc = main(["figure3", "--benchmarks", "gzip", "--length", "4000",
+                   "--jobs", "1", "--no-cache"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "Figure 3" not in captured.out  # no partial exhibit rendered
+        assert "Sweep failures" in captured.err
+        assert "gzip" in captured.err and "FaultInjected" in captured.err
+
+    def test_journal_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "figure3.jsonl"
+        args = ["figure3", "--benchmarks", "gzip", "--length", "4000",
+                "--jobs", "1", "--no-cache", "--journal", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert journal.exists()
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 3" in captured.out  # journal hits still render fully
+        assert "resumed from journal" in captured.err
