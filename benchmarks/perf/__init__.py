@@ -1,0 +1,8 @@
+"""Continuous performance-benchmark harness for the simulator core.
+
+Micro benchmarks time individual subsystems (steering, interconnect, LSQ);
+the macro benchmark times the full cycle loop on the Figure 3 static-16
+workload — the denominator of every exhibit in the reproduction.  Results
+land in ``BENCH_sim_core.json`` at the repo root and CI fails on a >15%
+regression against the committed numbers (see docs/PERFORMANCE.md).
+"""

@@ -1,0 +1,171 @@
+"""Timing, serialization, and regression-gate core of the perf harness.
+
+A benchmark is a named callable returning ``(work_units, wall_seconds)``;
+the harness derives a throughput metric (units/sec), takes the best of
+``repeats`` runs (minimum wall time — the standard way to suppress
+scheduler noise on shared runners), and renders everything as JSON.
+
+The regression gate compares a fresh run against the committed
+``BENCH_<name>.json``: any metric that drops more than ``tolerance``
+(default 15%) below the committed value fails the run.  Metrics are all
+higher-is-better throughputs, so the comparison is one-sided — getting
+faster never fails.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: fractional slowdown tolerated before the gate fails (the ISSUE's 15%)
+DEFAULT_TOLERANCE = 0.15
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+@dataclass
+class Benchmark:
+    """One named benchmark: ``fn`` returns (work_units, wall_seconds)."""
+
+    name: str
+    kind: str  # "micro" | "macro"
+    unit: str  # e.g. "cycles/sec", "ops/sec"
+    fn: Callable[[], Tuple[float, float]]
+    #: best-of-5: shared runners show >15% cycle-to-cycle noise at 3 repeats
+    repeats: int = 5
+
+
+@dataclass
+class Measurement:
+    name: str
+    kind: str
+    unit: str
+    value: float  # best throughput across repeats
+    wall_seconds: float  # wall time of the best run
+    work_units: float
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "value": round(self.value, 2),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "work_units": self.work_units,
+        }
+
+
+def run_benchmark(bench: Benchmark) -> Measurement:
+    best: Optional[Measurement] = None
+    for _ in range(max(1, bench.repeats)):
+        units, seconds = bench.fn()
+        seconds = max(seconds, 1e-9)
+        throughput = units / seconds
+        if best is None or throughput > best.value:
+            best = Measurement(
+                name=bench.name,
+                kind=bench.kind,
+                unit=bench.unit,
+                value=throughput,
+                wall_seconds=seconds,
+                work_units=units,
+            )
+    return best
+
+
+def run_suite(benches: List[Benchmark], progress: bool = True) -> List[Measurement]:
+    results = []
+    for bench in benches:
+        t0 = time.perf_counter()
+        m = run_benchmark(bench)
+        if progress:
+            print(
+                f"  {bench.name:32s} {m.value:>14,.0f} {m.unit:10s}"
+                f" ({time.perf_counter() - t0:.1f}s total)"
+            )
+        results.append(m)
+    return results
+
+
+def results_payload(
+    suite_name: str,
+    measurements: List[Measurement],
+    baseline: Optional[Dict] = None,
+) -> Dict:
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite_name,
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "metrics": {m.name: m.to_json() for m in measurements},
+    }
+    if baseline:
+        payload["baseline"] = baseline
+    return payload
+
+
+def bench_path(suite_name: str) -> pathlib.Path:
+    return REPO_ROOT / f"BENCH_{suite_name}.json"
+
+
+def load_committed(suite_name: str) -> Optional[Dict]:
+    path = bench_path(suite_name)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass
+class GateReport:
+    """Outcome of comparing a fresh run against committed numbers."""
+
+    regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    #: metric names behind ``regressions``, for targeted re-measurement
+    regressed_names: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    fresh: List[Measurement],
+    committed: Optional[Dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateReport:
+    """One-sided throughput gate: fail on >tolerance slowdown per metric."""
+    report = GateReport()
+    committed_metrics = (committed or {}).get("metrics", {})
+    for m in fresh:
+        old = committed_metrics.get(m.name)
+        if old is None:
+            report.missing.append(m.name)
+            continue
+        old_value = float(old["value"])
+        if old_value <= 0:
+            continue
+        ratio = m.value / old_value
+        line = (
+            f"{m.name}: {m.value:,.0f} vs committed {old_value:,.0f} "
+            f"{m.unit} ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - tolerance:
+            report.regressions.append(line)
+            report.regressed_names.append(m.name)
+        elif ratio > 1.0:
+            report.improvements.append(line)
+    return report

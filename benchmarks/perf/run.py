@@ -1,0 +1,113 @@
+"""Run the perf suite; write/refresh ``BENCH_sim_core.json``; gate CI.
+
+Usage (from the repo root, with ``src`` on PYTHONPATH)::
+
+    python benchmarks/perf/run.py                 # run + rewrite BENCH file
+    python benchmarks/perf/run.py --check         # run + fail on >15% regression
+    python benchmarks/perf/run.py --check --output fresh.json
+    python benchmarks/perf/run.py --update-baseline  # also refresh 'baseline'
+
+``--check`` compares a fresh run against the *committed* BENCH file and
+exits nonzero if any metric regressed more than ``--tolerance`` (default
+0.15); it never rewrites the committed file unless ``--write`` is added.
+The ``baseline`` section records the pre-optimization numbers and is only
+touched by ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    bench_path,
+    compare,
+    load_committed,
+    results_payload,
+    run_benchmark,
+    run_suite,
+)
+from benchmarks.perf.suite import SUITE_NAME, build_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH file and "
+                             "exit 1 on regression")
+    parser.add_argument("--write", action="store_true",
+                        help="rewrite the committed BENCH file (default "
+                             "unless --check)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="refresh the 'baseline' section from this run")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="also write this run's results to PATH "
+                             "(CI artifact)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fractional slowdown tolerated (default 0.15)")
+    args = parser.parse_args(argv)
+
+    committed = load_committed(SUITE_NAME)
+    print(f"perf suite '{SUITE_NAME}':")
+    suite = build_suite()
+    measurements = run_suite(suite)
+
+    status = 0
+    if args.check:
+        report = compare(measurements, committed, args.tolerance)
+        if report.regressed_names and committed is not None:
+            # Shared runners show transient >15% dips even at best-of-5;
+            # re-measure just the apparent regressions once before failing.
+            print(f"  re-measuring {len(report.regressed_names)} apparent "
+                  f"regression(s) to rule out scheduler noise...")
+            by_name = {b.name: b for b in suite}
+            best = {m.name: m for m in measurements}
+            for name in report.regressed_names:
+                retry = run_benchmark(by_name[name])
+                if retry.value > best[name].value:
+                    best[name] = retry
+            measurements = [best[m.name] for m in measurements]
+            report = compare(measurements, committed, args.tolerance)
+        for line in report.improvements:
+            print(f"  improved   {line}")
+        for name in report.missing:
+            print(f"  no-baseline {name} (not in committed BENCH file)")
+        for line in report.regressions:
+            print(f"  REGRESSED  {line}")
+        if committed is None:
+            print("no committed BENCH file — nothing to gate against")
+        elif report.ok:
+            print(f"gate OK: no metric regressed more than "
+                  f"{args.tolerance:.0%}")
+        else:
+            print(f"gate FAILED: {len(report.regressions)} metric(s) "
+                  f"regressed more than {args.tolerance:.0%}")
+            status = 1
+
+    baseline = (committed or {}).get("baseline")
+    if args.update_baseline:
+        baseline = {
+            "note": "refreshed by --update-baseline",
+            "metrics": {m.name: m.to_json() for m in measurements},
+        }
+    payload = results_payload(SUITE_NAME, measurements, baseline)
+
+    if args.output:
+        pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[results written to {args.output}]")
+
+    if args.write or (not args.check and not args.output):
+        path = bench_path(SUITE_NAME)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[committed results refreshed at {path}]")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,14 +11,8 @@ the same answer without being told.
 Run:  python examples/custom_workload.py
 """
 
-from repro import (
-    DistantILPController,
-    NoExploreConfig,
-    StaticController,
-    default_config,
-    generate_trace,
-)
-from repro.experiments.runner import run_trace
+from repro import NoExploreConfig, generate_trace, simulate
+from repro.experiments.sweep import ControllerSpec
 from repro.workloads.blocks import PhaseParams
 from repro.workloads.generator import Profile
 
@@ -62,14 +56,12 @@ program = Profile(
 
 
 def main() -> None:
-    config = default_config(16)
-
     print("per-phase static sweep:")
     for phase in program.phases:
         steady = Profile(name=phase.name, phases=(phase,), schedule="steady")
         trace = generate_trace(steady, 15_000, seed=1)
         ipcs = {
-            n: run_trace(trace, config, StaticController(n), warmup=3_000).ipc
+            n: simulate(trace, reconfig_policy=f"static-{n}", warmup=3_000).ipc
             for n in (2, 4, 8, 16)
         }
         best = max(ipcs, key=ipcs.get)
@@ -77,13 +69,13 @@ def main() -> None:
         print(f"  {phase.name:10s} {pretty}   -> best: {best} clusters")
 
     trace = generate_trace(program, 36_000, seed=1)
-    controller = DistantILPController(NoExploreConfig.scaled(interval_length=500))
-    result = run_trace(trace, config, controller, warmup=3_000)
+    policy = ControllerSpec.no_explore(NoExploreConfig.scaled(interval_length=500))
+    result = simulate(trace, reconfig_policy=policy, warmup=3_000)
     print(f"\ndynamic run on the alternating program:")
-    print(f"  IPC {result.ipc:.3f}, choices {controller.choice_counts}, "
-          f"{result.reconfigurations} reconfigurations")
+    print(f"  IPC {result.ipc:.3f}, {result.avg_active_clusters:.1f} clusters "
+          f"active on average, {result.reconfigurations} reconfigurations")
     for n in (4, 16):
-        static = run_trace(trace, config, StaticController(n), warmup=3_000)
+        static = simulate(trace, reconfig_policy=f"static-{n}", warmup=3_000)
         print(f"  static {n:2d}: IPC {static.ipc:.3f}")
 
 

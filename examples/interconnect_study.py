@@ -19,8 +19,8 @@ from repro import (
     generate_trace,
     get_profile,
     grid_config,
+    simulate,
 )
-from repro.experiments.runner import run_trace
 
 TRACE_LENGTH = 30_000
 WARMUP = 4_000
@@ -48,7 +48,7 @@ def main() -> None:
         print(f"\n=== {bench} (16 clusters) ===")
         baseline = None
         for label, config in variants():
-            result = run_trace(trace, config, warmup=WARMUP, label=label)
+            result = simulate(trace, processor=config, warmup=WARMUP, label=label)
             if baseline is None:
                 baseline = result.ipc
             rel = 100 * (result.ipc / baseline - 1)

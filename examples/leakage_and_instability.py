@@ -16,9 +16,6 @@ Run:  python examples/leakage_and_instability.py
 """
 
 from repro import (
-    ExploreConfig,
-    IntervalExploreController,
-    StaticController,
     compare_energy,
     default_config,
     generate_trace,
@@ -33,13 +30,10 @@ TRACE_LENGTH = 25_000
 
 def leakage_study() -> None:
     print("=== leakage savings from dynamic cluster disabling ===")
-    config = default_config(16)
     for bench in ("vpr", "swim"):
         trace = generate_trace(get_profile(bench), TRACE_LENGTH, seed=5)
-        always_on = simulate(trace, config, StaticController(16))
-        tuned = simulate(
-            trace, config, IntervalExploreController(ExploreConfig.scaled())
-        )
+        always_on = simulate(trace, reconfig_policy="static-16").stats
+        tuned = simulate(trace, reconfig_policy="explore").stats
         report = compare_energy(always_on, tuned, total_clusters=16)
         print(f"  {bench:6s} avg active clusters {tuned.avg_active_clusters:5.1f}  "
               f"cluster leakage saved {report['leakage_savings']:6.1%}  "

@@ -15,18 +15,8 @@ contrasts:
 Run:  python examples/phase_adaptive_media.py
 """
 
-from repro import (
-    DistantILPController,
-    ExploreConfig,
-    FineGrainController,
-    IntervalExploreController,
-    NoExploreConfig,
-    StaticController,
-    default_config,
-    generate_trace,
-    get_profile,
-)
-from repro.experiments.runner import run_trace
+from repro import NoExploreConfig, generate_trace, get_profile, simulate
+from repro.experiments.sweep import ControllerSpec
 
 TRACE_LENGTH = 40_000
 WARMUP = 4_000
@@ -35,20 +25,20 @@ WARMUP = 4_000
 def main() -> None:
     profile = get_profile("djpeg")
     trace = generate_trace(profile, TRACE_LENGTH, seed=9)
-    config = default_config(16)
     print(f"{profile.name}: {profile.description}")
     print(f"phases alternate every ~{profile.segment_length} instructions\n")
 
     schemes = [
-        ("static 4 clusters", StaticController(4)),
-        ("static 16 clusters", StaticController(16)),
-        ("interval + exploration", IntervalExploreController(ExploreConfig.scaled())),
-        ("no-exploration @500", DistantILPController(NoExploreConfig.scaled(500))),
-        ("fine-grained (branch table)", FineGrainController()),
+        ("static 4 clusters", "static-4"),
+        ("static 16 clusters", "static-16"),
+        ("interval + exploration", "explore"),
+        ("no-exploration @500",
+         ControllerSpec.no_explore(NoExploreConfig.scaled(500))),
+        ("fine-grained (branch table)", "finegrain"),
     ]
     rows = []
-    for label, controller in schemes:
-        result = run_trace(trace, config, controller, warmup=WARMUP, label=label)
+    for label, policy in schemes:
+        result = simulate(trace, reconfig_policy=policy, warmup=WARMUP, label=label)
         rows.append((label, result))
         print(f"{label:30s} IPC {result.ipc:.3f}   "
               f"avg clusters {result.avg_active_clusters:5.1f}   "

@@ -6,18 +6,13 @@ centralized cache), runs the synthetic `gzip` benchmark on a few static
 cluster counts, then lets the Figure 4 interval-based algorithm choose the
 cluster count dynamically.
 
+Everything goes through the stable facade (``repro.api``): one ``simulate``
+call per run, keyword vocabulary, a ``SimResult`` back.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ExploreConfig,
-    IntervalExploreController,
-    StaticController,
-    default_config,
-    generate_trace,
-    get_profile,
-    simulate,
-)
+from repro import generate_trace, get_profile, simulate
 
 TRACE_LENGTH = 30_000
 
@@ -29,21 +24,17 @@ def main() -> None:
     print(f"trace: {len(trace)} instructions, "
           f"{trace.branch_count} branches, {trace.memref_count} memory refs\n")
 
-    config = default_config(num_clusters=16)
-
     print("static configurations:")
     for n in (2, 4, 8, 16):
-        stats = simulate(trace, config, StaticController(n))
-        print(f"  {n:2d} clusters: IPC {stats.ipc:.3f} "
-              f"(branch accuracy {stats.branch_accuracy:.1%}, "
-              f"L1 hit rate {stats.l1_hit_rate:.1%})")
+        result = simulate(trace, reconfig_policy=f"static-{n}")
+        print(f"  {n:2d} clusters: IPC {result.ipc:.3f} "
+              f"(branch accuracy {result.stats.branch_accuracy:.1%}, "
+              f"L1 hit rate {result.stats.l1_hit_rate:.1%})")
 
-    controller = IntervalExploreController(ExploreConfig.scaled())
-    stats = simulate(trace, config, controller)
+    result = simulate(trace, reconfig_policy="explore")
     print(f"\ndynamic (interval-based with exploration):")
-    print(f"  IPC {stats.ipc:.3f}, {stats.reconfigurations} reconfigurations, "
-          f"{stats.avg_active_clusters:.1f} clusters active on average")
-    print(f"  configurations chosen: {controller.choice_counts}")
+    print(f"  IPC {result.ipc:.3f}, {result.reconfigurations} reconfigurations, "
+          f"{result.avg_active_clusters:.1f} clusters active on average")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ Run:  python examples/wrong_path_ablation.py
 
 import dataclasses
 
-from repro import StaticController, default_config, generate_trace, get_profile, simulate
+from repro import default_config, generate_trace, get_profile, simulate
 
 TRACE_LENGTH = 20_000
 
@@ -35,7 +35,9 @@ def main() -> None:
     for bench in ("vpr", "crafty", "swim"):
         trace = generate_trace(get_profile(bench), TRACE_LENGTH, seed=7)
         for label, config in (("stall", base), ("wrong-path", wrong)):
-            stats = simulate(trace, config, StaticController(16))
+            stats = simulate(
+                trace, processor=config, reconfig_policy="static-16"
+            ).stats
             ratio = stats.squashed / max(1, stats.committed)
             print(f"{bench:8s} {label:12s} {stats.ipc:6.3f} "
                   f"{stats.mispredicts:11d} {stats.squashed:9d} {ratio:11.2f}")

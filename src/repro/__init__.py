@@ -1,21 +1,26 @@
 """repro — reproduction of "Dynamically Managing the Communication-
 Parallelism Trade-off in Future Clustered Processors" (ISCA 2003).
 
-Public API tour:
+Public API tour (the stable facade lives in :mod:`repro.api`):
 
->>> from repro import get_profile, generate_trace, default_config, simulate
->>> trace = generate_trace(get_profile("gzip"), length=20_000, seed=1)
->>> stats = simulate(trace, default_config(num_clusters=16))
->>> round(stats.ipc, 2)  # doctest: +SKIP
-1.7
+>>> from repro import simulate
+>>> result = simulate("gzip", trace_length=20_000, seed=1)
+>>> 0.0 < result.ipc <= 16.0
+True
 
 Dynamic reconfiguration (the paper's contribution):
 
->>> from repro import IntervalExploreController, ExploreConfig
->>> controller = IntervalExploreController(ExploreConfig.scaled())
->>> stats = simulate(trace, default_config(), controller)  # doctest: +SKIP
+>>> result = simulate("swim", trace_length=20_000, reconfig_policy="explore")  # doctest: +SKIP
+
+Matrices of runs fan out over worker processes with caching and
+checkpointing:
+
+>>> from repro import SimSpec, sweep
+>>> outcome = sweep([SimSpec("gzip", reconfig_policy=f"static-{n}")
+...                  for n in (4, 16)], jobs=2)  # doctest: +SKIP
 """
 
+from .api import SimResult, SimSpec, SweepResult, simulate, sweep
 from .config import (
     CacheConfig,
     ClusterConfig,
@@ -47,7 +52,7 @@ from .core import (
 from .energy import EnergyModel, compare_energy, leakage_savings
 from .errors import ConfigError, ReproError, SimulationError, WorkloadError
 from .partition import ScalingCurve, best_partition, measure_scaling, partition_report
-from .pipeline import ClusteredProcessor, simulate, simulate_monolithic
+from .pipeline import ClusteredProcessor, simulate_monolithic
 from .stats import IntervalRecord, IntervalWindow, SimStats
 from .workloads import (
     BENCHMARK_NAMES,
@@ -87,10 +92,13 @@ __all__ = [
     "ScalingCurve",
     "ReconfigurationController",
     "ReproError",
+    "SimResult",
+    "SimSpec",
     "SimStats",
     "SimulationError",
     "StaticController",
     "SubroutineController",
+    "SweepResult",
     "Trace",
     "WorkloadError",
     "all_profiles",
@@ -112,4 +120,5 @@ __all__ = [
     "record_intervals",
     "simulate",
     "simulate_monolithic",
+    "sweep",
 ]

@@ -1,0 +1,394 @@
+"""Stable public facade of the reproduction.
+
+Callers should use this module (or the identical re-exports at the package
+root) instead of reaching into ``repro.pipeline.processor``,
+``repro.experiments.runner``, or ``repro.experiments.sweep`` — those are
+engine internals whose signatures may change; this facade will not.
+
+Two entry points cover everything:
+
+* :func:`simulate` — one simulation, in process, returning a
+  :class:`SimResult`.
+* :func:`sweep` — a matrix of simulations fanned out over worker processes
+  with caching, checkpointing, and structured failures, returning a
+  :class:`SweepResult`.
+
+Both speak one keyword vocabulary (:class:`SimSpec`):
+
+``workload``
+    A benchmark profile name (``"gzip"``, ``"swim"``, ... — see
+    ``repro.workloads``) or an explicit :class:`~repro.workloads.Trace`.
+``max_instructions``
+    Commit-bounded instruction limit; ``None`` runs the whole trace.  The
+    run stops at the first cycle boundary at or past the limit, so the
+    committed count may overshoot by at most ``commit_width - 1``.
+``seed`` / ``trace_length``
+    Trace-generation parameters (profile-name workloads only).
+``topology``
+    Machine shape: ``"ring"`` (default), ``"grid"``, ``"decentralized"``
+    (ring + per-cluster cache banks), or ``"monolithic"``.
+``reconfig_policy``
+    ``"none"``, ``"static-<n>"``, ``"explore"``, ``"no-explore"``,
+    ``"finegrain"``, ``"subroutine"``, or an explicit
+    :class:`~repro.experiments.sweep.ControllerSpec`.
+
+Example::
+
+    >>> from repro.api import simulate
+    >>> result = simulate("gzip", trace_length=10_000, reconfig_policy="static-4")
+    >>> 0.0 < result.ipc <= 16.0
+    True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .config import (
+    ProcessorConfig,
+    decentralized_config,
+    default_config,
+    grid_config,
+    monolithic_config,
+)
+from .errors import ConfigError
+from .stats import SimStats
+from .workloads.instruction import Trace
+from .workloads.profiles import get_profile
+
+__all__ = [
+    "SimSpec",
+    "SimResult",
+    "SweepResult",
+    "simulate",
+    "sweep",
+]
+
+#: topology name -> ProcessorConfig factory (takes the cluster count)
+_TOPOLOGIES: Dict[str, Callable[[int], ProcessorConfig]] = {
+    "ring": default_config,
+    "grid": grid_config,
+    "decentralized": decentralized_config,
+}
+
+_POLICIES = ("none", "explore", "no-explore", "finegrain", "subroutine")
+
+
+# ----------------------------------------------------------------------
+# the unified vocabulary
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Declarative description of one simulation in the facade vocabulary.
+
+    Every field has a sensible default except ``workload``; see the module
+    docstring for the vocabulary.  ``processor`` overrides
+    ``topology``/``clusters`` with an explicit
+    :class:`~repro.config.ProcessorConfig`.
+    """
+
+    workload: Union[str, Trace]
+    max_instructions: Optional[int] = None
+    seed: int = 7
+    topology: str = "ring"
+    reconfig_policy: Union[str, object] = "none"
+    clusters: int = 16
+    trace_length: Optional[int] = None
+    warmup: int = 0
+    processor: Optional[ProcessorConfig] = None
+    #: steering override: ``("mod-n", 3)`` or ``("first-fit",)``
+    steering: Optional[Tuple] = None
+    label: str = ""
+
+    def resolved_label(self) -> str:
+        if self.label:
+            return self.label
+        policy = self.reconfig_policy
+        return policy if isinstance(policy, str) else type(policy).__name__
+
+    # -- resolution helpers -------------------------------------------
+    def processor_config(self) -> ProcessorConfig:
+        if self.processor is not None:
+            return self.processor
+        if self.topology == "monolithic":
+            return monolithic_config()
+        factory = _TOPOLOGIES.get(self.topology)
+        if factory is None:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; choose from "
+                f"{sorted(_TOPOLOGIES) + ['monolithic']}"
+            )
+        return factory(self.clusters)
+
+    def controller_spec(self):
+        """The :class:`ControllerSpec` equivalent of ``reconfig_policy``."""
+        from .experiments.sweep import ControllerSpec
+
+        policy = self.reconfig_policy
+        if isinstance(policy, ControllerSpec):
+            return policy
+        if not isinstance(policy, str):
+            raise ConfigError(
+                f"reconfig_policy must be a string or ControllerSpec, "
+                f"got {type(policy).__name__}"
+            )
+        if policy in ("none", ""):
+            return ControllerSpec.none()
+        if policy.startswith("static-"):
+            return ControllerSpec.static(int(policy.split("-", 1)[1]))
+        if policy == "static":
+            return ControllerSpec.static(self.clusters)
+        if policy == "explore":
+            return ControllerSpec.explore()
+        if policy == "no-explore":
+            return ControllerSpec.no_explore()
+        if policy == "finegrain":
+            return ControllerSpec.finegrain()
+        if policy == "subroutine":
+            return ControllerSpec.subroutine()
+        raise ConfigError(
+            f"unknown reconfig_policy {policy!r}; choose from "
+            f"{_POLICIES + ('static-<n>',)}"
+        )
+
+    def to_run_spec(self):
+        """The sweep-engine :class:`RunSpec` for this simulation.
+
+        Only profile-name workloads convert: a :class:`Trace` cannot be
+        shipped to worker processes by value (specs are regenerated from
+        ``(profile, trace_length, seed)`` on the worker side).
+        """
+        from .experiments.runner import scaled_length
+        from .experiments.sweep import RunSpec
+
+        if not isinstance(self.workload, str):
+            raise ConfigError(
+                "sweep() needs profile-name workloads (traces are "
+                "regenerated inside workers); use simulate() for an "
+                "explicit Trace"
+            )
+        return RunSpec(
+            profile=self.workload,
+            trace_length=self.trace_length or scaled_length(),
+            seed=self.seed,
+            config=self.processor_config(),
+            controller=self.controller_spec(),
+            warmup=self.warmup,
+            label=self.resolved_label(),
+            steering=self.steering,
+            max_instructions=self.max_instructions,
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Steady-state outcome of one simulation (measurement excludes warmup)."""
+
+    name: str
+    label: str
+    ipc: float
+    committed: int
+    cycles: int
+    mispredict_interval: float
+    avg_active_clusters: float
+    reconfigurations: int
+    stats: SimStats
+
+    def speedup_over(self, other: "SimResult") -> float:
+        if other.ipc == 0:
+            return float("inf")
+        return self.ipc / other.ipc
+
+
+def _to_sim_result(run_result) -> SimResult:
+    return SimResult(
+        name=run_result.name,
+        label=run_result.label,
+        ipc=run_result.ipc,
+        committed=run_result.committed,
+        cycles=run_result.cycles,
+        mispredict_interval=run_result.mispredict_interval,
+        avg_active_clusters=run_result.avg_active_clusters,
+        reconfigurations=run_result.reconfigurations,
+        stats=run_result.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# simulate
+
+
+def simulate(
+    workload,
+    config: Optional[ProcessorConfig] = None,
+    controller: Optional[object] = None,
+    **kwargs,
+) -> Union[SimResult, SimStats]:
+    """Run one simulation and return its :class:`SimResult`.
+
+    ``workload`` is a :class:`SimSpec`, a profile name, or a
+    :class:`~repro.workloads.Trace`; every other parameter is a
+    :class:`SimSpec` field passed by keyword::
+
+        simulate("swim", trace_length=20_000, reconfig_policy="explore")
+        simulate(my_trace, processor=my_config, warmup=2_000)
+        simulate(SimSpec(workload="gzip", topology="grid"))
+
+    The pre-facade spelling ``simulate(trace, config, controller)`` (a
+    positional :class:`~repro.config.ProcessorConfig` and controller
+    instance, returning bare :class:`~repro.stats.SimStats`) still works
+    but emits a :class:`DeprecationWarning`; it will be removed once no
+    callers remain.
+    """
+    if config is not None or controller is not None:
+        # legacy shim: simulate(trace, config, controller=..., max_instructions=...)
+        warnings.warn(
+            "simulate(trace, config, controller) is deprecated; use "
+            "simulate(workload, processor=..., reconfig_policy=...) from "
+            "repro.api (returns a SimResult)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .pipeline.processor import ClusteredProcessor
+
+        processor = ClusteredProcessor(
+            workload,
+            config if config is not None else default_config(),
+            controller,
+            kwargs.pop("steering", None),
+        )
+        stats = processor.run(kwargs.pop("max_instructions", None))
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        return stats
+
+    if isinstance(workload, SimSpec):
+        spec = dataclasses.replace(workload, **kwargs) if kwargs else workload
+    else:
+        spec = SimSpec(workload, **kwargs)
+
+    from .experiments.runner import run_trace, scaled_length
+    from .workloads.generator import generate_trace
+
+    if isinstance(spec.workload, Trace):
+        trace = spec.workload
+    else:
+        trace = generate_trace(
+            get_profile(spec.workload),
+            spec.trace_length or scaled_length(),
+            spec.seed,
+        )
+    controller_obj = spec.controller_spec().build()
+    steering_factory = None
+    if spec.steering is not None:
+        from .experiments.sweep import _build_steering
+
+        steering_factory = _build_steering(spec.steering)
+    result = run_trace(
+        trace,
+        spec.processor_config(),
+        controller_obj,
+        warmup=spec.warmup,
+        label=spec.resolved_label(),
+        steering=steering_factory,
+        max_instructions=spec.max_instructions,
+    )
+    return _to_sim_result(result)
+
+
+# ----------------------------------------------------------------------
+# sweep
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: per-spec records plus engine metrics.
+
+    ``records`` line up with the input specs (one
+    :class:`~repro.experiments.sweep.RunRecord` each, in order).
+    ``results`` holds the corresponding :class:`SimResult` for successful
+    runs and ``None`` for structured failures.
+    """
+
+    records: List[object] = field(default_factory=list)
+    metrics: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    @property
+    def failures(self) -> List[object]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def results(self) -> List[Optional[SimResult]]:
+        return [
+            _to_sim_result(r.result) if r.ok and r.result is not None else None
+            for r in self.records
+        ]
+
+    def require_ok(self) -> "SweepResult":
+        """Raise :class:`~repro.errors.SweepError` on any failed record."""
+        from .experiments.sweep import require_ok
+
+        require_ok(self.records)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def sweep(
+    specs: Iterable[object],
+    *,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    cache_dir=None,
+    journal=None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+) -> SweepResult:
+    """Fan a matrix of simulations out across worker processes.
+
+    ``specs`` may mix :class:`SimSpec` and raw
+    :class:`~repro.experiments.sweep.RunSpec` entries.  Parallelism,
+    caching, checkpoint journals, and fault tolerance are the sweep
+    engine's (see ``docs/SWEEPS.md``); this facade only translates the
+    vocabulary.  Failures come back as structured records — call
+    :meth:`SweepResult.require_ok` to raise instead.
+    """
+    from .experiments.sweep import RunSpec, SweepRunner
+
+    run_specs: List[RunSpec] = []
+    for spec in specs:
+        if isinstance(spec, SimSpec):
+            run_specs.append(spec.to_run_spec())
+        elif isinstance(spec, RunSpec):
+            run_specs.append(spec)
+        else:
+            raise ConfigError(
+                f"sweep() takes SimSpec or RunSpec entries, got "
+                f"{type(spec).__name__}"
+            )
+    runner = SweepRunner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=cache,
+        timeout=timeout,
+        retries=retries,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+    )
+    records = runner.run(run_specs)
+    return SweepResult(records=records, metrics=runner.metrics)

@@ -15,16 +15,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .config import decentralized_config, default_config, grid_config, monolithic_config
-from .core import (
-    DistantILPController,
-    ExploreConfig,
-    FineGrainController,
-    IntervalExploreController,
-    NoExploreConfig,
-    StaticController,
-    SubroutineController,
-)
+from .api import simulate
 from .experiments import (
     figure3,
     figure5,
@@ -43,9 +34,7 @@ from .experiments import (
 )
 from .errors import SweepError, SweepInterrupted
 from .experiments.reporting import format_failure_table, format_sweep_metrics
-from .experiments.runner import run_trace
 from .experiments.sweep import SweepRunner, default_cache_dir, default_jobs
-from .workloads.generator import generate_trace
 from .workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, get_profile
 
 _EXHIBITS = {
@@ -58,25 +47,7 @@ _EXHIBITS = {
     "table4": (table4, print_table4),
 }
 
-_CONFIGS = {
-    "ring": default_config,
-    "grid": grid_config,
-    "decentralized": decentralized_config,
-}
-
-
-def _make_controller(name: str, clusters: int):
-    if name == "static":
-        return StaticController(clusters)
-    if name == "explore":
-        return IntervalExploreController(ExploreConfig.scaled())
-    if name == "no-explore":
-        return DistantILPController(NoExploreConfig.scaled())
-    if name == "finegrain":
-        return FineGrainController()
-    if name == "subroutine":
-        return SubroutineController()
-    raise ValueError(f"unknown controller {name!r}")
+_MACHINES = ("ring", "grid", "decentralized", "monolithic")
 
 
 def _parse_benchmarks(spec: Optional[str]) -> Sequence[str]:
@@ -104,8 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--clusters", type=int, default=16,
                      help="active clusters for the static controller")
-    run.add_argument("--machine", choices=sorted(_CONFIGS) + ["monolithic"],
-                     default="ring")
+    run.add_argument("--machine", choices=_MACHINES, default="ring")
     run.add_argument(
         "--controller",
         choices=["static", "explore", "no-explore", "finegrain", "subroutine"],
@@ -149,15 +119,24 @@ def _cmd_list() -> int:
     return 0
 
 
+def _run_policy(machine: str, controller: str, clusters: int) -> str:
+    """Map the ``run`` subcommand's flags to a facade ``reconfig_policy``."""
+    if machine == "monolithic":
+        return "none"
+    if controller == "static":
+        return f"static-{clusters}"
+    return controller
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    trace = generate_trace(get_profile(args.benchmark), args.length, args.seed)
-    if args.machine == "monolithic":
-        config = monolithic_config()
-        controller = None
-    else:
-        config = _CONFIGS[args.machine](16)
-        controller = _make_controller(args.controller, args.clusters)
-    result = run_trace(trace, config, controller, warmup=args.warmup)
+    result = simulate(
+        args.benchmark,
+        trace_length=args.length,
+        seed=args.seed,
+        topology=args.machine,
+        reconfig_policy=_run_policy(args.machine, args.controller, args.clusters),
+        warmup=args.warmup,
+    )
     s = result.stats
     print(f"{args.benchmark} on {args.machine} "
           f"({args.controller}{'' if args.controller != 'static' else f'-{args.clusters}'})")

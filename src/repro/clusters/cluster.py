@@ -4,6 +4,10 @@ The paper splits every cluster into an integer half and a floating-point
 half (15 issue-queue entries and 30 physical registers each).  The cluster
 tracks occupancy; the pipeline owns instruction state and the per-cycle
 select loop.
+
+The occupancy checks sit on the steering fast path (every dispatch probes
+every active cluster), so capacities are cached in slots and the FP test is
+a table lookup rather than enum containment.
 """
 
 from __future__ import annotations
@@ -15,9 +19,29 @@ from ..errors import SimulationError
 from ..workloads.instruction import OpClass
 from .functional_units import FunctionalUnits
 
+#: indexed by OpClass value: does the op use the FP half of the cluster?
+_IS_FP = tuple(op in (OpClass.FP_ALU, OpClass.FP_MUL) for op in OpClass)
+
+#: wake sentinel: far beyond any reachable simulation cycle
+NEVER = 1 << 60
+
 
 class Cluster:
     """Occupancy bookkeeping for one cluster."""
+
+    __slots__ = (
+        "cid",
+        "config",
+        "fus",
+        "_int_iq",
+        "_fp_iq",
+        "_int_regs",
+        "_fp_regs",
+        "_iq_cap",
+        "_rf_cap",
+        "issue_queue",
+        "wake_cycle",
+    )
 
     def __init__(self, cid: int, config: ClusterConfig) -> None:
         self.cid = cid
@@ -27,29 +51,40 @@ class Cluster:
         self._fp_iq = 0
         self._int_regs = 0
         self._fp_regs = 0
+        self._iq_cap = config.issue_queue_size
+        self._rf_cap = config.regfile_size
         #: in-flight instruction records waiting to issue (pipeline objects)
         self.issue_queue: List[object] = []
+        #: earliest cycle anything in this cluster's queue could issue; the
+        #: select loop skips the cluster entirely until then
+        self.wake_cycle = 0
 
     # ------------------------------------------------------------------
     # capacity checks used by steering
 
     def _is_fp(self, op: OpClass) -> bool:
-        return op in (OpClass.FP_ALU, OpClass.FP_MUL)
+        return _IS_FP[op]
 
     def iq_has_room(self, op: OpClass) -> bool:
-        if self._is_fp(op):
-            return self._fp_iq < self.config.issue_queue_size
-        return self._int_iq < self.config.issue_queue_size
+        if _IS_FP[op]:
+            return self._fp_iq < self._iq_cap
+        return self._int_iq < self._iq_cap
 
     def reg_available(self, op: OpClass, needs_reg: bool) -> bool:
         if not needs_reg:
             return True
-        if self._is_fp(op):
-            return self._fp_regs < self.config.regfile_size
-        return self._int_regs < self.config.regfile_size
+        if _IS_FP[op]:
+            return self._fp_regs < self._rf_cap
+        return self._int_regs < self._rf_cap
 
     def can_accept(self, op: OpClass, needs_reg: bool) -> bool:
-        return self.iq_has_room(op) and self.reg_available(op, needs_reg)
+        if _IS_FP[op]:
+            return self._fp_iq < self._iq_cap and (
+                not needs_reg or self._fp_regs < self._rf_cap
+            )
+        return self._int_iq < self._iq_cap and (
+            not needs_reg or self._int_regs < self._rf_cap
+        )
 
     @property
     def iq_occupancy(self) -> int:
@@ -76,13 +111,19 @@ class Cluster:
     # state transitions (called by the pipeline)
 
     def allocate(self, record: object, op: OpClass, needs_reg: bool) -> None:
-        if not self.can_accept(op, needs_reg):
-            raise SimulationError(f"cluster {self.cid}: allocate without room")
-        if self._is_fp(op):
+        if _IS_FP[op]:
+            if self._fp_iq >= self._iq_cap or (
+                needs_reg and self._fp_regs >= self._rf_cap
+            ):
+                raise SimulationError(f"cluster {self.cid}: allocate without room")
             self._fp_iq += 1
             if needs_reg:
                 self._fp_regs += 1
         else:
+            if self._int_iq >= self._iq_cap or (
+                needs_reg and self._int_regs >= self._rf_cap
+            ):
+                raise SimulationError(f"cluster {self.cid}: allocate without room")
             self._int_iq += 1
             if needs_reg:
                 self._int_regs += 1
@@ -91,14 +132,14 @@ class Cluster:
     def on_issue(self, record: object, op: OpClass) -> None:
         """The record left the issue queue (the list entry is removed by the
         pipeline's select loop)."""
-        if self._is_fp(op):
+        if _IS_FP[op]:
             self._fp_iq -= 1
         else:
             self._int_iq -= 1
 
     def on_commit(self, op: OpClass, needs_reg: bool) -> None:
         if needs_reg:
-            if self._is_fp(op):
+            if _IS_FP[op]:
                 self._fp_regs -= 1
             else:
                 self._int_regs -= 1

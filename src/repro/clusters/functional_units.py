@@ -39,33 +39,43 @@ EXEC_LATENCY: Dict[OpClass, int] = {
 }
 
 
+#: pool index per OpClass value (int_alu=0, int_mul=1, fp_alu=2, fp_mul=3);
+#: must stay consistent with FU_POOL above
+_POOL_INDEX = (0, 1, 2, 3, 0, 0, 0)
+_POOL_NAMES = ("int_alu", "int_mul", "fp_alu", "fp_mul")
+
+
 class FunctionalUnits:
     """Issue-bandwidth tracker for one cluster, one cycle at a time.
 
     Table 1 gives each cluster one integer ALU, one integer mult/div, one FP
     ALU, and one FP mult/div; as many instructions can issue per cycle as
     there are free units.  All units are fully pipelined, so only issue
-    bandwidth (not occupancy) is tracked.
+    bandwidth (not occupancy) is tracked — four integer counters, reset at
+    the top of each select pass.
     """
 
+    __slots__ = ("_capacity", "_free")
+
     def __init__(self, config: ClusterConfig) -> None:
-        self._capacity = {
-            "int_alu": config.int_alus,
-            "int_mul": config.int_muls,
-            "fp_alu": config.fp_alus,
-            "fp_mul": config.fp_muls,
-        }
-        self._free = dict(self._capacity)
+        self._capacity = [
+            config.int_alus,
+            config.int_muls,
+            config.fp_alus,
+            config.fp_muls,
+        ]
+        self._free = list(self._capacity)
 
     def begin_cycle(self) -> None:
-        self._free = dict(self._capacity)
+        self._free[:] = self._capacity
 
     def try_issue(self, op: OpClass) -> bool:
-        pool = FU_POOL[op]
-        if self._free[pool] > 0:
-            self._free[pool] -= 1
+        pool = _POOL_INDEX[op]
+        free = self._free
+        if free[pool] > 0:
+            free[pool] -= 1
             return True
         return False
 
     def free_units(self, pool: str) -> int:
-        return self._free[pool]
+        return self._free[_POOL_NAMES.index(pool)]

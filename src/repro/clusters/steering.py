@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..workloads.instruction import Instr, OpClass
-from .cluster import Cluster
+from .cluster import _IS_FP, Cluster
 from .criticality import CriticalityPredictor
 
 
@@ -79,19 +79,56 @@ class ProducerSteering(SteeringHeuristic):
         active: int,
         preferred: Optional[int] = None,
     ) -> Optional[int]:
-        feasible = self._feasible(instr.op, instr.has_dest, active)
+        # hottest function in the simulator (called per dispatch, probing
+        # every active cluster): capacity checks are inlined against the
+        # cluster occupancy counters instead of going through can_accept
+        clusters = self.clusters
+        needs_reg = instr.has_dest
+        feasible: List[int] = []
+        append = feasible.append
+        k = 0
+        if _IS_FP[instr.op]:
+            for c in clusters:
+                if k >= active:
+                    break
+                if c._fp_iq < c._iq_cap and (
+                    not needs_reg or c._fp_regs < c._rf_cap
+                ):
+                    append(k)
+                k += 1
+        else:
+            for c in clusters:
+                if k >= active:
+                    break
+                if c._int_iq < c._iq_cap and (
+                    not needs_reg or c._int_regs < c._rf_cap
+                ):
+                    append(k)
+                k += 1
         if not feasible:
             return None
-        feasible_set = set(feasible)
 
         # 1. decentralized cache: favour the predicted bank cluster
-        if preferred is not None and preferred in feasible_set:
+        if preferred is not None and preferred in feasible:
             return preferred
 
-        # 2. producer preference
+        # 2. producer preference (at most two register operands, so the
+        # count/tie logic reduces to three cases)
         candidate: Optional[int] = None
-        usable = [(pos, c) for pos, c in producer_clusters if c in feasible_set]
-        if usable:
+        usable = [pc for pc in producer_clusters if pc[1] in feasible]
+        n_usable = len(usable)
+        if n_usable == 1:
+            candidate = usable[0][1]
+        elif n_usable == 2:
+            pos0, c0 = usable[0]
+            pos1, c1 = usable[1]
+            if c0 == c1:
+                candidate = c0
+            else:
+                # tie: trust the criticality predictor's operand choice
+                crit = self.criticality.predict_critical_operand(instr.pc)
+                candidate = c1 if pos1 == crit and pos0 != crit else c0
+        elif n_usable:  # >2 producers: callers outside the pipeline
             counts: dict = {}
             for _, c in usable:
                 counts[c] = counts.get(c, 0) + 1
@@ -100,7 +137,6 @@ class ProducerSteering(SteeringHeuristic):
             if len(top) == 1:
                 candidate = top[0]
             else:
-                # tie: trust the criticality predictor's operand choice
                 crit = self.criticality.predict_critical_operand(instr.pc)
                 for pos, c in usable:
                     if pos == crit and c in top:
@@ -109,12 +145,21 @@ class ProducerSteering(SteeringHeuristic):
                 if candidate is None:
                     candidate = top[0]
 
-        # 3. load-imbalance override / no-producer fallback
-        least = self._least_loaded(feasible)
+        # 3. load-imbalance override / no-producer fallback (first-seen
+        # wins on occupancy ties, i.e. the lowest feasible cluster id)
+        least = feasible[0]
+        c = clusters[least]
+        least_occ = c._int_iq + c._fp_iq
+        for k in feasible:
+            c = clusters[k]
+            occ = c._int_iq + c._fp_iq
+            if occ < least_occ:
+                least = k
+                least_occ = occ
         if candidate is None:
             return least
-        gap = self.clusters[candidate].iq_occupancy - self.clusters[least].iq_occupancy
-        if gap > self.imbalance_threshold:
+        c = clusters[candidate]
+        if (c._int_iq + c._fp_iq) - least_occ > self.imbalance_threshold:
             return least
         return candidate
 

@@ -9,6 +9,7 @@ over two billion fast-forwarded instructions).
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -62,9 +63,11 @@ def run_trace(
     trace: Trace,
     config: ProcessorConfig,
     controller: Optional[object] = None,
+    *args,
     warmup: int = DEFAULT_WARMUP,
     label: str = "",
     steering: Optional[Callable[[object], object]] = None,
+    max_instructions: Optional[int] = None,
 ) -> RunResult:
     """Simulate a trace and report post-warmup steady-state metrics.
 
@@ -73,18 +76,41 @@ def run_trace(
     methodology.  ``steering``, when given, is called with the processor's
     cluster list and must return a steering heuristic that replaces the
     default producer-preference one (used by the steering ablation).
+    ``max_instructions`` bounds the run in *committed* instructions
+    (commit-bounded: see :meth:`ClusteredProcessor.run`), counted from the
+    start of the trace, warmup included.
     """
+    if args:
+        # pre-facade spelling: run_trace(trace, config, controller, warmup, label)
+        warnings.warn(
+            "positional warmup/label/steering arguments to run_trace are "
+            "deprecated; pass them by keyword (warmup=, label=, steering=) "
+            "or use repro.api.simulate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("warmup", "label", "steering")
+        if len(args) > len(names):
+            raise TypeError(f"run_trace takes at most {3 + len(names)} arguments")
+        defaults = {"warmup": warmup, "label": label, "steering": steering}
+        for name, value in zip(names, args):
+            defaults[name] = value
+        warmup = defaults["warmup"]
+        label = defaults["label"]
+        steering = defaults["steering"]
     processor = ClusteredProcessor(trace, config, controller)
     if steering is not None:
         processor.steering = steering(processor.clusters)
     warmup = min(warmup, max(0, len(trace) - 1000))
+    if max_instructions is not None:
+        warmup = min(warmup, max_instructions)
     while not processor.finished and processor.stats.committed < warmup:
         processor.step()
     cycles0 = processor.cycle
     committed0 = processor.stats.committed
     mispredicts0 = processor.stats.mispredicts
     cluster_cycles0 = processor.stats.cluster_cycle_product
-    processor.run()
+    processor.run(max_instructions)
     stats = processor.stats
 
     cycles = max(1, stats.cycles - cycles0)

@@ -202,6 +202,10 @@ class RunSpec:
     #: when set, run :func:`repro.core.instability.record_intervals` at this
     #: granularity instead of a measured run (the Table 4 recording mode)
     record_granularity: Optional[int] = None
+    #: commit-bounded instruction limit (None = whole trace); the facade
+    #: vocabulary's ``max_instructions``, counted from the start of the
+    #: trace, warmup included
+    max_instructions: Optional[int] = None
 
     def cache_key(self) -> str:
         """Stable content hash of the run's inputs plus the code version."""
@@ -220,6 +224,7 @@ class RunSpec:
                 f"controller={self.controller!r}",
                 f"steering={self.steering!r}",
                 f"record={self.record_granularity!r}",
+                f"max_instructions={self.max_instructions!r}",
             )
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -339,6 +344,7 @@ def _run_spec(spec: RunSpec) -> RunRecord:
         warmup=spec.warmup,
         label=spec.label,
         steering=steering,
+        max_instructions=spec.max_instructions,
     )
     return RunRecord(
         spec=spec,

@@ -52,6 +52,9 @@ class FetchUnit:
         self.ras = ras or ReturnAddressStack(config.ras_size)
 
         self._pos = 0
+        # the raw instruction list, hoisted out of the per-cycle fetch loop
+        self._instructions = trace.instructions
+        self._trace_len = len(trace.instructions)
         # queue of (instr, cycle at which it reaches dispatch)
         self._queue: Deque[Tuple[Instr, int]] = deque()
         self._stalled_until = 0
@@ -127,17 +130,21 @@ class FetchUnit:
         fetched = 0
         branches = 0
         cfg = self.config
+        queue = self._queue
+        instructions = self._instructions
+        trace_len = self._trace_len
+        queue_cap = cfg.fetch_queue_size
         ready_at = cycle + cfg.pipeline_depth
         while (
             fetched < cfg.fetch_width
-            and self._pos < len(self.trace)
-            and len(self._queue) < cfg.fetch_queue_size
+            and self._pos < trace_len
+            and len(queue) < queue_cap
         ):
-            instr = self.trace[self._pos]
+            instr = instructions[self._pos]
             self._pos += 1
             fetched += 1
             self.stats.fetched += 1
-            self._queue.append((instr, ready_at))
+            queue.append((instr, ready_at))
             if instr.is_branch:
                 branches += 1
                 if self._predict_branch(instr):

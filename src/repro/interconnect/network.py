@@ -74,9 +74,11 @@ class Network:
         if src == dst:
             return start_cycle
         cfg = self.config
-        if kind == "memory" and cfg.free_memory_communication:
-            return start_cycle
-        if kind == "register" and cfg.free_register_communication:
+        memory_kind = kind == "memory"
+        if memory_kind:
+            if cfg.free_memory_communication:
+                return start_cycle
+        elif cfg.free_register_communication:
             return start_cycle
 
         if cfg.model_contention:
@@ -91,12 +93,13 @@ class Network:
 
         latency = arrival - start_cycle
         self.messages_sent += 1
-        if kind == "memory":
-            self.stats.memory_transfers += 1
-            self.stats.memory_transfer_cycles += latency
+        stats = self.stats
+        if memory_kind:
+            stats.memory_transfers += 1
+            stats.memory_transfer_cycles += latency
         else:
-            self.stats.register_transfers += 1
-            self.stats.register_transfer_cycles += latency
+            stats.register_transfers += 1
+            stats.register_transfer_cycles += latency
         return arrival
 
     def broadcast_arrivals(

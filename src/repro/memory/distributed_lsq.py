@@ -30,6 +30,8 @@ class DistributedLSQ:
         # (release_cycle, cluster) heap for dummy slots freed by broadcasts
         self._releases: List[Tuple[int, int]] = []
         self._entries: Dict[int, MemAccess] = {}
+        #: store entries only, so load scheduling never scans the loads
+        self._stores: Dict[int, MemAccess] = {}
         self._unresolved_stores: Set[int] = set()
         self._pending_loads: Dict[int, MemAccess] = {}
         #: clusters each in-flight entry currently occupies
@@ -69,6 +71,7 @@ class DistributedLSQ:
         if not self.can_allocate_store(active_clusters):
             raise SimulationError("distributed LSQ store allocate on full slice")
         self._entries[access.index] = access
+        self._stores[access.index] = access
         self._unresolved_stores.add(access.index)
         held = list(range(active_clusters))
         for k in held:
@@ -125,8 +128,8 @@ class DistributedLSQ:
         latest = 0
         forward = False
         best_store = -1
-        for index, entry in self._entries.items():
-            if not entry.is_store or index >= load.index:
+        for index, entry in self._stores.items():
+            if index >= load.index:
                 continue
             if entry.arrivals is None:
                 raise SimulationError("probe_constraints on a blocked load")
@@ -140,6 +143,7 @@ class DistributedLSQ:
 
     def release(self, index: int) -> MemAccess:
         access = self._entries.pop(index)
+        self._stores.pop(index, None)
         self._unresolved_stores.discard(index)
         self._pending_loads.pop(index, None)
         for cluster in self._held.pop(index):

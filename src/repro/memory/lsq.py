@@ -17,21 +17,28 @@ from ..errors import SimulationError
 class MemAccess:
     """One in-flight memory instruction's LSQ state."""
 
-    __slots__ = ("index", "cluster", "addr", "is_store", "addr_arrival", "arrivals")
+    __slots__ = (
+        "index",
+        "cluster",
+        "addr",
+        "word",
+        "is_store",
+        "addr_arrival",
+        "arrivals",
+    )
 
     def __init__(self, index: int, cluster: int, addr: int, is_store: bool) -> None:
         self.index = index
         self.cluster = cluster
         self.addr = addr
+        #: word address, precomputed: disambiguation compares it per probe
+        #: against every earlier in-flight store
+        self.word = addr >> 2
         self.is_store = is_store
         #: cycle the address becomes known at the (centralized) LSQ
         self.addr_arrival: Optional[int] = None
         #: decentralized: per-cluster broadcast arrival cycles
         self.arrivals: Optional[Dict[int, int]] = None
-
-    @property
-    def word(self) -> int:
-        return self.addr >> 2
 
 
 class CentralizedLSQ:
@@ -52,6 +59,8 @@ class CentralizedLSQ:
         self.capacity = capacity
         self.conservative = conservative
         self._entries: Dict[int, MemAccess] = {}
+        #: store entries only, so load scheduling never scans the loads
+        self._stores: Dict[int, MemAccess] = {}
         self._unresolved_stores: Set[int] = set()
         self._pending_loads: Dict[int, MemAccess] = {}
 
@@ -67,6 +76,7 @@ class CentralizedLSQ:
             raise SimulationError("LSQ allocate on a full queue")
         self._entries[access.index] = access
         if access.is_store:
+            self._stores[access.index] = access
             self._unresolved_stores.add(access.index)
 
     def load_address_ready(self, index: int, arrival: int) -> None:
@@ -108,15 +118,18 @@ class CentralizedLSQ:
         relevant; otherwise only same-word stores are."""
         latest = 0
         forward = False
-        for index, entry in self._entries.items():
-            if not entry.is_store or index >= load.index:
+        load_index = load.index
+        load_word = load.word
+        conservative = self.conservative
+        for index, entry in self._stores.items():
+            if index >= load_index:
                 continue
-            same_word = entry.word == load.word
+            same_word = entry.word == load_word
             if entry.addr_arrival is None:
-                if self.conservative or same_word:
+                if conservative or same_word:
                     raise SimulationError("probe_constraints on a blocked load")
                 continue
-            if (self.conservative or same_word) and entry.addr_arrival > latest:
+            if (conservative or same_word) and entry.addr_arrival > latest:
                 latest = entry.addr_arrival
             if same_word:
                 forward = True
@@ -125,6 +138,7 @@ class CentralizedLSQ:
     def release(self, index: int) -> MemAccess:
         """Remove an entry at commit."""
         access = self._entries.pop(index)
+        self._stores.pop(index, None)
         self._unresolved_stores.discard(index)
         self._pending_loads.pop(index, None)
         return access

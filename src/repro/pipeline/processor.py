@@ -17,6 +17,7 @@ there is no per-cycle polling of the memory system or the interconnect.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..clusters.cluster import Cluster
@@ -37,6 +38,13 @@ from .rob import InFlight, ReorderBuffer
 #: instruction before we declare the pipeline wedged
 _MAX_CPI = 400
 
+#: execution latency indexed by OpClass value (avoids dict+enum hashing in
+#: the issue loop)
+_EXEC_LAT = tuple(EXEC_LATENCY[op] for op in OpClass)
+
+#: cluster wake sentinel: far beyond any reachable cycle
+_NEVER = 1 << 60
+
 
 class ClusteredProcessor:
     """A dynamically reconfigurable clustered processor bound to one trace."""
@@ -47,6 +55,8 @@ class ClusteredProcessor:
         config: ProcessorConfig,
         controller: Optional[object] = None,
         steering: Optional[SteeringHeuristic] = None,
+        *,
+        naive_issue: bool = False,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -71,6 +81,11 @@ class ClusteredProcessor:
         #: instructions must be this many entries younger than the ROB head
         #: to count as "distant" (the paper uses 120 = 4 clusters x 30 regs)
         self.distant_threshold = 4 * config.cluster.regfile_size
+
+        #: issue-stage implementation: the event/wakeup-driven select is the
+        #: default; the naive every-cluster-every-cycle scan is retained as
+        #: an equivalence reference (see tests/pipeline/test_issue_equivalence)
+        self._issue = self._issue_naive if naive_issue else self._issue_event
 
         self.controller = controller
         self._controller_wants_dispatch = bool(
@@ -157,9 +172,23 @@ class ClusteredProcessor:
 
     def _producer_finished(self, producer: InFlight) -> None:
         """Propagate a newly known finish time to all waiting consumers."""
+        clusters = self.clusters
         for consumer, pos in producer.waiters:
             avail = self._operand_available(producer, consumer.cluster)
             consumer.operand_known(pos, avail)
+            # operand arrival may make the consumer issuable: wake its
+            # cluster at the earliest cycle the entry could be selected
+            if (
+                consumer.unknown_ops == 0
+                and not consumer.issued
+                and not consumer.squashed
+            ):
+                wake = consumer.ready_time
+                if consumer.earliest_issue > wake:
+                    wake = consumer.earliest_issue
+                cluster = clusters[consumer.cluster]
+                if wake < cluster.wake_cycle:
+                    cluster.wake_cycle = wake
         producer.waiters.clear()
 
     # ------------------------------------------------------------------
@@ -175,33 +204,48 @@ class ClusteredProcessor:
             self._producer_finished(rec)
 
     def _commit(self) -> None:
+        rob = self.rob
+        entries = rob._entries
+        if not entries:
+            return
+        cycle = self.cycle
+        stats = self.stats
+        clusters = self.clusters
+        records = self._records
+        done = self._done
+        controller = self.controller
         width = self.config.front_end.commit_width
         committed = 0
-        controller = self.controller
-        while committed < width and not self.rob.empty:
-            rec = self.rob.head
-            if rec.finish_cycle is None or rec.finish_cycle > self.cycle:
+        while committed < width and entries:
+            rec = entries[0]
+            finish = rec.finish_cycle
+            if finish is None or finish > cycle:
                 break
-            self.rob.pop_head()
+            entries.popleft()
             committed += 1
             instr = rec.instr
-            self.stats.committed += 1
+            stats.committed += 1
             if instr.is_branch:
-                self.stats.branches += 1
+                stats.branches += 1
             elif instr.is_mem:
-                self.stats.memrefs += 1
-                self.stats.loads += instr.is_load
-                self.stats.stores += instr.is_store
-                self.memory.commit(instr, self.cycle)
+                stats.memrefs += 1
+                stats.loads += instr.is_load
+                stats.stores += instr.is_store
+                self.memory.commit(instr, cycle)
             if rec.distant:
-                self.stats.distant_commits += 1
-            self.clusters[rec.cluster].on_commit(instr.op, instr.has_dest)
-            self._done[instr.index] = (rec.cluster, rec.finish_cycle)
-            del self._records[instr.index]
+                stats.distant_commits += 1
+            clusters[rec.cluster].on_commit(instr.op, instr.has_dest)
+            done[instr.index] = (rec.cluster, finish)
+            del records[instr.index]
             if controller is not None:
-                controller.on_commit(instr, self.cycle, rec.distant)
+                controller.on_commit(instr, cycle, rec.distant)
 
-    def _issue(self) -> None:
+    def _issue_naive(self) -> None:
+        """Reference select: scan every cluster's queue every cycle.
+
+        Kept verbatim as the behavioral-equivalence oracle for the
+        event-driven select below; choose it with ``naive_issue=True``.
+        """
         cycle = self.cycle
         head_index = self.rob.head_index
         threshold = self.distant_threshold
@@ -232,6 +276,64 @@ class ClusteredProcessor:
             if issued_any:
                 cluster.issue_queue = [r for r in queue if r is not None]
 
+    def _issue_event(self) -> None:
+        """Event/wakeup-driven select: skip clusters with nothing to do.
+
+        Each cluster carries ``wake_cycle``, the earliest cycle anything in
+        its queue could possibly issue.  Wakes are posted on dispatch
+        (allocation), on an operand becoming known, and on wrong-path
+        squash; a ready entry refused by FU bandwidth re-arms the cluster
+        for the next cycle.  Scanning a cluster with no issuable entry is
+        behavior-neutral, so spurious wakes are harmless; the scan itself
+        recomputes the next wake from the entries it leaves behind.  The
+        issue order within a scan is identical to the naive reference, so
+        the two implementations are bit-identical (enforced by test and by
+        the golden-figure fingerprints).
+        """
+        cycle = self.cycle
+        head_index = self.rob.head_index
+        threshold = self.distant_threshold
+        for cluster in self.clusters:
+            if cluster.wake_cycle > cycle:
+                continue
+            queue = cluster.issue_queue
+            if not queue:
+                cluster.wake_cycle = _NEVER
+                continue
+            cluster.fus.begin_cycle()
+            issued_any = False
+            next_wake = _NEVER
+            for i, rec in enumerate(queue):
+                if rec is None:
+                    continue
+                if rec.squashed:
+                    # wrong-path leftovers: free the issue-queue slot
+                    queue[i] = None
+                    issued_any = True
+                    cluster.on_issue(rec, rec.instr.op)
+                    continue
+                if rec.unknown_ops:
+                    continue  # woken by _producer_finished when known
+                ready = rec.ready_time
+                if rec.earliest_issue > ready:
+                    ready = rec.earliest_issue
+                if ready <= cycle:
+                    if cluster.fus.try_issue(rec.instr.op):
+                        queue[i] = None
+                        issued_any = True
+                        self._do_issue(rec, cluster, head_index, threshold)
+                    elif cycle < next_wake:
+                        # ready but out of FU bandwidth: retry next cycle
+                        next_wake = cycle + 1
+                elif ready < next_wake:
+                    next_wake = ready
+            if issued_any:
+                cluster.issue_queue = [r for r in queue if r is not None]
+            # safe to overwrite: wakes posted during this scan can only
+            # target entries later in this queue (consumers are younger
+            # than their producers) or other clusters
+            cluster.wake_cycle = next_wake
+
     def _do_issue(self, rec: InFlight, cluster: Cluster, head_index: int, threshold: int) -> None:
         cycle = self.cycle
         instr = rec.instr
@@ -254,9 +356,9 @@ class ClusteredProcessor:
         if op is OpClass.LOAD:
             # address generation this cycle; data arrival set by the memory
             # system via drain_completions
-            self.memory.address_ready(instr, cycle + EXEC_LATENCY[op])
+            self.memory.address_ready(instr, cycle + _EXEC_LAT[op])
             return
-        finish = cycle + EXEC_LATENCY[op]
+        finish = cycle + _EXEC_LAT[op]
         if op is OpClass.STORE:
             # the store's address is ready now; completion additionally
             # waits for the data operand (tracked separately)
@@ -282,40 +384,53 @@ class ClusteredProcessor:
         swept by the select loop on its next pass.
         """
         entries = self.rob._entries
+        cycle = self.cycle
         while entries and entries[-1].instr.index < 0:
             rec = entries.pop()
             rec.squashed = True
             # release the register now; if the record is still waiting in an
             # issue queue, the select loop frees that slot at the mark
-            self.clusters[rec.cluster].on_commit(rec.instr.op, rec.instr.has_dest)
+            cluster = self.clusters[rec.cluster]
+            cluster.on_commit(rec.instr.op, rec.instr.has_dest)
+            if not rec.issued and cycle < cluster.wake_cycle:
+                # wake the cluster so the slot is swept exactly when the
+                # naive scan would have swept it (this cycle for clusters
+                # not yet selected, next cycle for the rest)
+                cluster.wake_cycle = cycle
             del self._records[rec.instr.index]
             self.stats.squashed += 1
 
     def _dispatch(self) -> None:
-        if self.cycle < self._dispatch_stalled_until:
+        cycle = self.cycle
+        if cycle < self._dispatch_stalled_until:
             return
+        fetch_unit = self.fetch_unit
+        rob = self.rob
+        memory = self.memory
+        choose = self.steering.choose
         width = self.config.front_end.dispatch_width
         dispatched = 0
         while dispatched < width:
-            instr = self.fetch_unit.peek_ready(self.cycle)
-            if instr is None or self.rob.full:
+            instr = fetch_unit.peek_ready(cycle)
+            if instr is None or rob.full:
                 break
-            if instr.is_mem and not self.memory.can_dispatch(instr):
+            is_mem = instr.is_mem
+            if is_mem and not memory.can_dispatch(instr):
                 break
             producer_clusters = self._producer_clusters(instr)
-            preferred = self.memory.preferred_cluster(instr) if instr.is_mem else None
-            target = self.steering.choose(
-                instr, producer_clusters, self.active_clusters, preferred
-            )
+            preferred = memory.preferred_cluster(instr) if is_mem else None
+            # re-read each iteration: a controller's on_dispatch hook may
+            # reconfigure mid-burst
+            target = choose(instr, producer_clusters, self.active_clusters, preferred)
             if target is None:
                 break
-            if instr.is_mem and not self._memory_slot_ok(instr, target):
+            if is_mem and not self._memory_slot_ok(instr, target):
                 break
-            self.fetch_unit.pop()
+            fetch_unit.pop()
             self._allocate(instr, target)
             dispatched += 1
             if self._controller_wants_dispatch:
-                self.controller.on_dispatch(instr, self.cycle)
+                self.controller.on_dispatch(instr, cycle)
 
     def _memory_slot_ok(self, instr: Instr, cluster: int) -> bool:
         """Post-steering LSQ check (the decentralized LSQ is per cluster)."""
@@ -328,13 +443,18 @@ class ClusteredProcessor:
         return memory.can_dispatch(instr)
 
     def _producer_clusters(self, instr: Instr) -> List[Tuple[int, int]]:
+        records = self._records
         producers: List[Tuple[int, int]] = []
-        for pos, src in ((0, instr.src1), (1, instr.src2)):
-            if src < 0:
-                continue
-            rec = self._records.get(src)
+        src = instr.src1
+        if src >= 0:
+            rec = records.get(src)
             if rec is not None:
-                producers.append((pos, rec.cluster))
+                producers.append((0, rec.cluster))
+        src = instr.src2
+        if src >= 0:
+            rec = records.get(src)
+            if rec is not None:
+                producers.append((1, rec.cluster))
         return producers
 
     def _allocate(self, instr: Instr, target: int) -> None:
@@ -347,11 +467,20 @@ class ClusteredProcessor:
         self._records[instr.index] = rec
         self._resolve_operand(rec, 0, instr.src1)
         self._resolve_operand(rec, 1, instr.src2)
+        cluster = self.clusters[target]
         if rec.unknown_ops == 0:
             a0 = rec.op_avail[0] or 0
             a1 = 0 if rec.store_split else (rec.op_avail[1] or 0)
             rec.ready_time = a0 if a0 >= a1 else a1
-        self.clusters[target].allocate(rec, instr.op, instr.has_dest)
+            # the entry is fully resolved: schedule the cluster's next
+            # select pass (always a future cycle, since earliest_issue is
+            # at least cycle + 1)
+            wake = rec.ready_time
+            if rec.earliest_issue > wake:
+                wake = rec.earliest_issue
+            if wake < cluster.wake_cycle:
+                cluster.wake_cycle = wake
+        cluster.allocate(rec, instr.op, instr.has_dest)
         self.rob.push(rec)
         self.stats.dispatched += 1
         if instr.is_mem:
@@ -378,7 +507,16 @@ class ClusteredProcessor:
         return self.fetch_unit.exhausted and self.rob.empty
 
     def run(self, max_instructions: Optional[int] = None) -> SimStats:
-        """Run until the trace is exhausted or ``max_instructions`` commit."""
+        """Run until the trace is exhausted or ``max_instructions`` commit.
+
+        ``None`` means no limit (the whole trace).  The limit is
+        *commit-bounded*: the run stops at the first cycle boundary at or
+        past it, and since up to ``commit_width`` instructions retire per
+        cycle, the committed count may overshoot ``max_instructions`` by at
+        most ``commit_width - 1``.  Stopping mid-cycle would record a
+        machine state no real cycle ever produced, so the overshoot is the
+        contract (see ``tests/test_api.py``).
+        """
         limit = max_instructions if max_instructions is not None else len(self.trace)
         limit = min(limit, len(self.trace))
         max_cycles = max(10_000, limit * _MAX_CPI)
@@ -397,10 +535,36 @@ class ClusteredProcessor:
 def simulate(
     trace: Trace,
     config: ProcessorConfig,
+    *args,
     controller: Optional[object] = None,
     max_instructions: Optional[int] = None,
     steering: Optional[SteeringHeuristic] = None,
 ) -> SimStats:
-    """Convenience wrapper: build a processor, run it, return statistics."""
+    """Convenience wrapper: build a processor, run it, return statistics.
+
+    This is the engine-level entry point; prefer :func:`repro.api.simulate`
+    for the stable facade.  ``controller``/``max_instructions``/``steering``
+    are keyword-only (the unified vocabulary); the pre-facade positional
+    spelling still works but emits a :class:`DeprecationWarning`.
+    """
+    if args:
+        warnings.warn(
+            "positional controller/max_instructions/steering arguments to "
+            "simulate are deprecated; pass them by keyword (controller=, "
+            "max_instructions=, steering=) or use repro.api.simulate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("controller", "max_instructions", "steering")
+        if len(args) > len(names):
+            raise TypeError("simulate takes at most 5 arguments")
+        legacy = {"controller": controller,
+                  "max_instructions": max_instructions,
+                  "steering": steering}
+        for name, value in zip(names, args):
+            legacy[name] = value
+        controller = legacy["controller"]
+        max_instructions = legacy["max_instructions"]
+        steering = legacy["steering"]
     processor = ClusteredProcessor(trace, config, controller, steering)
     return processor.run(max_instructions)

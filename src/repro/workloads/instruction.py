@@ -46,6 +46,16 @@ _HAS_DEST = {
     OpClass.BRANCH: False,
 }
 
+# per-op-class flag tables indexed by the IntEnum value; consulted once in
+# Instr.__init__ so the pipeline reads plain slot attributes instead of
+# calling properties (the former dominate the simulator's profile)
+_HAS_DEST_T = tuple(_HAS_DEST[op] for op in OpClass)
+_IS_BRANCH_T = tuple(op is OpClass.BRANCH for op in OpClass)
+_IS_MEM_T = tuple(op in (OpClass.LOAD, OpClass.STORE) for op in OpClass)
+_IS_LOAD_T = tuple(op is OpClass.LOAD for op in OpClass)
+_IS_STORE_T = tuple(op is OpClass.STORE for op in OpClass)
+_IS_FP_T = tuple(op in (OpClass.FP_ALU, OpClass.FP_MUL) for op in OpClass)
+
 
 class Instr:
     """One dynamic instruction.
@@ -73,6 +83,12 @@ class Instr:
         "target",
         "is_call",
         "is_return",
+        "has_dest",
+        "is_branch",
+        "is_mem",
+        "is_load",
+        "is_store",
+        "is_fp",
     )
 
     def __init__(
@@ -98,30 +114,13 @@ class Instr:
         self.target = target
         self.is_call = is_call
         self.is_return = is_return
-
-    @property
-    def has_dest(self) -> bool:
-        return _HAS_DEST[self.op]
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op is OpClass.BRANCH
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in (OpClass.LOAD, OpClass.STORE)
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is OpClass.STORE
-
-    @property
-    def is_fp(self) -> bool:
-        return self.op in (OpClass.FP_ALU, OpClass.FP_MUL)
+        # derived flags, precomputed once (instructions are immutable)
+        self.has_dest = _HAS_DEST_T[op]
+        self.is_branch = _IS_BRANCH_T[op]
+        self.is_mem = _IS_MEM_T[op]
+        self.is_load = _IS_LOAD_T[op]
+        self.is_store = _IS_STORE_T[op]
+        self.is_fp = _IS_FP_T[op]
 
     def sources(self) -> Iterable[int]:
         """The producer indices of this instruction's register operands."""

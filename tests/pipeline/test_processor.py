@@ -51,13 +51,13 @@ class TestOrderings:
         assert mono.ipc > clustered.ipc
 
     def test_parallel_code_scales_with_clusters(self, parallel_trace, config16):
-        few = simulate(parallel_trace, config16, StaticController(2))
-        many = simulate(parallel_trace, config16, StaticController(16))
+        few = simulate(parallel_trace, config16, controller=StaticController(2))
+        many = simulate(parallel_trace, config16, controller=StaticController(16))
         assert many.ipc > few.ipc * 1.1
 
     def test_serial_code_prefers_few_clusters(self, serial_trace, config16):
-        few = simulate(serial_trace, config16, StaticController(4))
-        many = simulate(serial_trace, config16, StaticController(16))
+        few = simulate(serial_trace, config16, controller=StaticController(4))
+        many = simulate(serial_trace, config16, controller=StaticController(16))
         assert few.ipc >= many.ipc * 0.95  # at best marginal gains from 16
 
 
@@ -83,7 +83,7 @@ class TestAccounting:
         assert s.distant_commits / len(serial_trace) < p.distant_commits / len(parallel_trace)
 
     def test_cluster_cycle_product(self, parallel_trace, config16):
-        stats = simulate(parallel_trace, config16, StaticController(4))
+        stats = simulate(parallel_trace, config16, controller=StaticController(4))
         assert stats.avg_active_clusters <= 4.01
 
 
@@ -136,7 +136,7 @@ class TestControllerHooks:
             def on_commit(self, instr, cycle, distant):
                 calls.append(instr.index)
 
-        simulate(parallel_trace, config16, Probe(8))
+        simulate(parallel_trace, config16, controller=Probe(8))
         assert len(calls) == len(parallel_trace)
         assert calls == sorted(calls)  # in-order commit
 
@@ -149,7 +149,7 @@ class TestControllerHooks:
             def on_dispatch(self, instr, cycle):
                 seen.append(instr.index)
 
-        simulate(parallel_trace, config16, Probe(8))
+        simulate(parallel_trace, config16, controller=Probe(8))
         assert len(seen) == len(parallel_trace)
 
 

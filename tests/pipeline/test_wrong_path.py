@@ -72,7 +72,7 @@ class TestWrongPath:
 
     def test_works_with_reconfiguration(self, branchy_trace):
         stats = simulate(
-            branchy_trace, _wrong_path_config(), StaticController(4)
+            branchy_trace, _wrong_path_config(), controller=StaticController(4)
         )
         assert stats.committed == len(branchy_trace)
 

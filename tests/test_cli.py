@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.cli import _make_controller, _parse_benchmarks, build_parser, main
-from repro.core import (
-    DistantILPController,
-    FineGrainController,
-    IntervalExploreController,
-    StaticController,
-    SubroutineController,
-)
+from repro.cli import _parse_benchmarks, _run_policy, build_parser, main
 
 
 class TestParser:
@@ -33,14 +26,14 @@ class TestParser:
 
 
 class TestHelpers:
-    def test_controller_factory(self):
-        assert isinstance(_make_controller("static", 4), StaticController)
-        assert isinstance(_make_controller("explore", 4), IntervalExploreController)
-        assert isinstance(_make_controller("no-explore", 4), DistantILPController)
-        assert isinstance(_make_controller("finegrain", 4), FineGrainController)
-        assert isinstance(_make_controller("subroutine", 4), SubroutineController)
-        with pytest.raises(ValueError):
-            _make_controller("oracle", 4)
+    def test_run_policy_mapping(self):
+        assert _run_policy("ring", "static", 4) == "static-4"
+        assert _run_policy("grid", "explore", 4) == "explore"
+        assert _run_policy("decentralized", "no-explore", 8) == "no-explore"
+        assert _run_policy("ring", "finegrain", 16) == "finegrain"
+        assert _run_policy("ring", "subroutine", 16) == "subroutine"
+        # monolithic has no clustering to reconfigure
+        assert _run_policy("monolithic", "explore", 4) == "none"
 
     def test_parse_benchmarks(self):
         assert len(_parse_benchmarks("")) == 9

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import StaticController, default_config, simulate
+from repro import simulate
 from repro.energy import EnergyModel, compare_energy, leakage_savings
 from repro.stats import SimStats
 
@@ -53,14 +53,14 @@ class TestLeakageSavings:
 
 class TestEndToEnd:
     def test_fewer_clusters_cost_less_leakage(self, serial_trace, config16):
-        narrow = simulate(serial_trace, config16, StaticController(4))
-        wide = simulate(serial_trace, config16, StaticController(16))
+        narrow = simulate(serial_trace, reconfig_policy="static-4").stats
+        wide = simulate(serial_trace, reconfig_policy="static-16").stats
         report = compare_energy(wide, narrow, total_clusters=16)
         assert report["leakage_savings"] > 0.7  # 12 of 16 clusters gated
         assert report["epi_ratio"] < 1.0  # same work, less energy
 
     def test_compare_keys(self, serial_trace, config16):
-        a = simulate(serial_trace, config16, StaticController(8))
+        a = simulate(serial_trace, reconfig_policy="static-8").stats
         report = compare_energy(a, a, total_clusters=16)
         assert set(report) == {
             "baseline_epi", "tuned_epi", "leakage_savings", "epi_ratio",

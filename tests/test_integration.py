@@ -10,7 +10,6 @@ from repro import (
     IntervalExploreController,
     NoExploreConfig,
     StaticController,
-    SubroutineController,
     decentralized_config,
     default_config,
     grid_config,
@@ -66,7 +65,9 @@ class TestDynamicControllersLive:
         assert len(ctrl.table) > 0
 
     def test_subroutine_controller_on_benchmark(self, gzip_trace, config16):
-        stats = simulate(gzip_trace, config16, SubroutineController())
+        stats = simulate(
+            gzip_trace, processor=config16, reconfig_policy="subroutine"
+        ).stats
         assert stats.committed == len(gzip_trace)
 
 
@@ -81,12 +82,12 @@ class TestDecentralizedIntegration:
             assert proc.stats.cache_flushes > 0
 
     def test_bank_prediction_learns_on_strided_code(self, parallel_trace):
-        stats = simulate(parallel_trace, decentralized_config(16))
+        stats = simulate(parallel_trace, topology="decentralized").stats
         assert stats.bank_predictions > 0
         assert stats.bank_prediction_accuracy > 0.5
 
     def test_store_broadcasts_happen(self, parallel_trace):
-        stats = simulate(parallel_trace, decentralized_config(16))
+        stats = simulate(parallel_trace, topology="decentralized").stats
         assert stats.store_broadcasts == stats.stores
 
 
