@@ -7,7 +7,7 @@ Expected shape here: the static-16 vs static-4 gap is wider than under the
 ring, and exploration still tracks the per-program best.
 """
 
-from repro.experiments.figures import figure3, figure8, print_figure8
+from repro.experiments.figures import figure8, print_figure8
 from repro.experiments.reporting import geomean
 
 from conftest import bench_trace_length

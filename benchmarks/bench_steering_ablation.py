@@ -9,8 +9,6 @@ relatively better on serial codes (communication dominates), Mod_N on
 wide parallel codes (balance dominates).
 """
 
-import pytest
-
 from repro.config import default_config
 from repro.experiments.reporting import format_table, geomean
 from repro.experiments.sweep import RunSpec, SweepRunner, require_ok

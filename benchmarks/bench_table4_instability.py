@@ -9,7 +9,6 @@ interval ordering follows the paper's.
 """
 
 from repro.experiments.tables import print_table4, table4
-from repro.workloads.profiles import PAPER_TABLE4
 
 from conftest import bench_trace_length
 

@@ -18,107 +18,93 @@ checkpointing:
 >>> from repro import SimSpec, sweep
 >>> outcome = sweep([SimSpec("gzip", reconfig_policy=f"static-{n}")
 ...                  for n in (4, 16)], jobs=2)  # doctest: +SKIP
+
+The re-exports below resolve lazily (PEP 562): ``import repro`` pays for
+nothing until an attribute is touched, and standalone tooling that lives
+under this package — ``python -m repro.analysis`` in particular — keeps
+working even when the simulator stack itself cannot import (that linter's
+whole job is diagnosing such trees).
 """
 
-from .api import SimResult, SimSpec, SweepResult, simulate, sweep
-from .config import (
-    CacheConfig,
-    ClusterConfig,
-    FrontEndConfig,
-    InterconnectConfig,
-    MemoryConfig,
-    ProcessorConfig,
-    centralized_cache,
-    decentralized_cache,
-    decentralized_config,
-    default_config,
-    grid_config,
-    monolithic_config,
-)
-from .core import (
-    DistantILPController,
-    ExploreConfig,
-    FineGrainConfig,
-    FineGrainController,
-    IntervalExploreController,
-    NoExploreConfig,
-    ReconfigurationController,
-    StaticController,
-    SubroutineController,
-    instability_factor,
-    instability_profile,
-    record_intervals,
-)
-from .energy import EnergyModel, compare_energy, leakage_savings
-from .errors import ConfigError, ReproError, SimulationError, WorkloadError
-from .partition import ScalingCurve, best_partition, measure_scaling, partition_report
-from .pipeline import ClusteredProcessor, simulate_monolithic
-from .stats import IntervalRecord, IntervalWindow, SimStats
-from .workloads import (
-    BENCHMARK_NAMES,
-    PAPER_TABLE3,
-    PAPER_TABLE4,
-    Profile,
-    Trace,
-    all_profiles,
-    generate_trace,
-    get_profile,
-)
+from importlib import import_module
 
-__version__ = "1.0.0"
+from ._version import __version__ as __version__
 
-__all__ = [
-    "BENCHMARK_NAMES",
-    "CacheConfig",
-    "ClusterConfig",
-    "ClusteredProcessor",
-    "ConfigError",
-    "EnergyModel",
-    "DistantILPController",
-    "ExploreConfig",
-    "FineGrainConfig",
-    "FineGrainController",
-    "FrontEndConfig",
-    "InterconnectConfig",
-    "IntervalExploreController",
-    "IntervalRecord",
-    "IntervalWindow",
-    "MemoryConfig",
-    "NoExploreConfig",
-    "PAPER_TABLE3",
-    "PAPER_TABLE4",
-    "ProcessorConfig",
-    "Profile",
-    "ScalingCurve",
-    "ReconfigurationController",
-    "ReproError",
-    "SimResult",
-    "SimSpec",
-    "SimStats",
-    "SimulationError",
-    "StaticController",
-    "SubroutineController",
-    "SweepResult",
-    "Trace",
-    "WorkloadError",
-    "all_profiles",
-    "best_partition",
-    "centralized_cache",
-    "compare_energy",
-    "decentralized_cache",
-    "decentralized_config",
-    "default_config",
-    "generate_trace",
-    "get_profile",
-    "grid_config",
-    "instability_factor",
-    "leakage_savings",
-    "instability_profile",
-    "measure_scaling",
-    "monolithic_config",
-    "partition_report",
-    "record_intervals",
-    "simulate",
-    "simulate_monolithic",
-    "sweep",
-]
+#: public name -> defining submodule (relative to this package)
+_EXPORTS = {
+    "SimResult": ".api",
+    "SimSpec": ".api",
+    "SweepResult": ".api",
+    "simulate": ".api",
+    "sweep": ".api",
+    "CacheConfig": ".config",
+    "ClusterConfig": ".config",
+    "FrontEndConfig": ".config",
+    "InterconnectConfig": ".config",
+    "MemoryConfig": ".config",
+    "ProcessorConfig": ".config",
+    "centralized_cache": ".config",
+    "decentralized_cache": ".config",
+    "decentralized_config": ".config",
+    "default_config": ".config",
+    "grid_config": ".config",
+    "monolithic_config": ".config",
+    "DistantILPController": ".core",
+    "ExploreConfig": ".core",
+    "FineGrainConfig": ".core",
+    "FineGrainController": ".core",
+    "IntervalExploreController": ".core",
+    "NoExploreConfig": ".core",
+    "ReconfigurationController": ".core",
+    "StaticController": ".core",
+    "SubroutineController": ".core",
+    "instability_factor": ".core",
+    "instability_profile": ".core",
+    "record_intervals": ".core",
+    "EnergyModel": ".energy",
+    "compare_energy": ".energy",
+    "leakage_savings": ".energy",
+    "ConfigError": ".errors",
+    "ReproError": ".errors",
+    "SimulationError": ".errors",
+    "WorkloadError": ".errors",
+    "ScalingCurve": ".partition",
+    "best_partition": ".partition",
+    "measure_scaling": ".partition",
+    "partition_report": ".partition",
+    "ClusteredProcessor": ".pipeline",
+    "simulate_monolithic": ".pipeline",
+    "IntervalRecord": ".stats",
+    "IntervalWindow": ".stats",
+    "SimStats": ".stats",
+    "BENCHMARK_NAMES": ".workloads",
+    "PAPER_TABLE3": ".workloads",
+    "PAPER_TABLE4": ".workloads",
+    "Profile": ".workloads",
+    "Trace": ".workloads",
+    "all_profiles": ".workloads",
+    "generate_trace": ".workloads",
+    "get_profile": ".workloads",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    origin = _EXPORTS.get(name)
+    if origin is not None:
+        value = getattr(import_module(origin, __name__), name)
+    else:
+        # plain submodule access (repro.api, repro.experiments, ...)
+        try:
+            value = import_module(f".{name}", __name__)
+        except ImportError as exc:
+            raise AttributeError(
+                f"module {__name__!r} has no attribute {name!r}"
+            ) from exc
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,9 @@
+"""Package version, in a leaf module.
+
+Lives below every layer so that low-level code (e.g. the sweep cache key,
+which folds the version into its content hash) can read it without
+importing the package root — the root imports the whole stack, so a
+``import repro`` from inside the stack is a layering back-edge.
+"""
+
+__version__ = "1.0.0"

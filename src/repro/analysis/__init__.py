@@ -1,0 +1,42 @@
+"""Static-analysis pass enforcing the reproduction's correctness invariants.
+
+The dynamic layers built in earlier PRs — golden fingerprints, sampled
+invariant checking, the naive-vs-event equivalence oracle — catch
+determinism and conservation bugs *at run time*, after a sweep has already
+burned CPU.  This package catches the same classes of bug *at lint time*,
+from the source alone:
+
+* **D-rules (determinism)** — unseeded ``random`` calls, wall-clock reads
+  inside the simulator model, iteration over sets in hot paths, ``id()``
+  used for ordering, ad-hoc ``os.environ`` reads.
+* **L-rules (layering)** — the one-directional import architecture
+  (``workloads/frontend/clusters/interconnect/memory -> pipeline -> core
+  -> experiments -> api -> cli``) and the ban on the deprecated pre-facade
+  call spellings now that :mod:`repro.api` is the stable surface.
+* **S-rules (stats/config)** — every :class:`~repro.stats.SimStats` field
+  must be handled by ``SimStats.merge`` (so new counters cannot silently
+  vanish in parallel sweeps), and ``simulate``/``sweep``/``SimSpec``
+  keyword usage plus topology/policy/workload string literals are checked
+  against the facade vocabulary.
+
+Run it with ``python -m repro.analysis [paths...]``; see
+``docs/ANALYSIS.md`` for the rule catalogue, suppression syntax
+(``# repro: allow[RULE]``), and the baseline mechanism.
+
+This package is deliberately self-contained (standard library only, no
+imports from the simulator) so it can lint a broken tree.
+"""
+
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register_rule
+from .runner import AnalysisResult, analyze_paths
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "get_rule",
+    "register_rule",
+]

@@ -1,0 +1,83 @@
+"""Committed-baseline support.
+
+Adopting a new analyzer on a living tree must not require fixing every
+historical finding in one PR.  A baseline file records the findings that
+existed at adoption time; ``python -m repro.analysis --baseline FILE``
+subtracts them, so only *new* findings fail the build, and
+``--write-baseline`` regenerates the file once debt is paid down.
+
+Matching is by ``(rule, path, message)`` — line numbers are deliberately
+excluded so unrelated edits that shift a baselined finding do not
+resurface it — and is count-aware: two identical findings with one
+baseline entry means one new finding.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: default baseline location, repo-root relative
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def load_baseline(path: pathlib.Path) -> Counter:
+    """The baseline as a multiset of finding keys (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in "
+            f"{path} (expected {BASELINE_VERSION})"
+        )
+    keys = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        keys[key] += int(entry.get("count", 1))
+    return keys
+
+
+def write_baseline(path: pathlib.Path, findings: List[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, count-collapsed)."""
+    counts: Counter = Counter(f.baseline_key() for f in findings)
+    entries = [
+        {"rule": rule, "path": fpath, "message": message, "count": count}
+        for (rule, fpath, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined) against the baseline multiset."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+def stale_entries(findings: List[Finding], baseline: Counter) -> Dict[Tuple, int]:
+    """Baseline entries no longer matched by any finding (debt paid)."""
+    present: Counter = Counter(f.baseline_key() for f in findings)
+    stale: Dict[Tuple, int] = {}
+    for key, count in baseline.items():
+        unused = count - min(count, present.get(key, 0))
+        if unused:
+            stale[key] = unused
+    return stale

@@ -1,0 +1,307 @@
+"""D-rules: determinism.
+
+The paper's interval/exploration controllers compare IPC measured across
+intervals, so any run-to-run nondeterminism silently corrupts the headline
+results.  These rules flag the source constructs that historically cause
+it: ambient randomness, wall-clock reads, hash-order iteration, identity
+ordering, and ad-hoc environment reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register_rule
+
+#: the packages that make up the cycle-accurate simulator model; anything
+#: nondeterministic here perturbs simulated results, not just logs
+SIMULATOR_PACKAGES = ("pipeline", "clusters", "interconnect", "memory", "core")
+
+#: ``random`` module functions that draw from the hidden global generator
+_GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+def _in_simulator(ctx: FileContext) -> bool:
+    return ctx.module_head in SIMULATOR_PACKAGES
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """D101: module-level ``random``/``numpy.random`` draws.
+
+    ``random.random()`` et al. read the interpreter-global Mersenne
+    twister, whose state depends on import order and everything else that
+    touched it; the repo's convention is an injected ``random.Random(seed)``
+    (see ``workloads/generator.py``).  Applies everywhere — benchmarks and
+    examples feed results too.
+    """
+
+    RULE_ID = "D101"
+    RULE_DOC = (
+        "unseeded random.* / numpy.random.* module-level call; inject a "
+        "seeded random.Random(seed) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_name(node.func)
+            if dotted is None:
+                continue
+            if self._is_global_draw(dotted):
+                yield self.finding(
+                    ctx, node,
+                    f"call to {dotted}() draws from the process-global RNG; "
+                    f"use an injected random.Random(seed)",
+                    callee=dotted,
+                )
+
+    @staticmethod
+    def _is_global_draw(dotted: str) -> bool:
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            # random.Random(...) constructs an independent generator - fine
+            return parts[1] in _GLOBAL_RANDOM_FNS
+        if parts[0] == "numpy" and len(parts) >= 3 and parts[1] == "random":
+            # numpy.random.default_rng(seed) is the blessed construction
+            return parts[2] != "default_rng"
+        return False
+
+
+@register_rule
+class WallClockRule(Rule):
+    """D102: wall-clock reads inside the simulator model packages.
+
+    Simulated time is ``processor.cycle``; reading host time inside
+    ``pipeline``/``clusters``/``interconnect``/``memory``/``core`` means a
+    simulated decision can depend on machine load.  Harness code
+    (``experiments``, benchmarks) may time itself freely.
+    """
+
+    RULE_ID = "D102"
+    RULE_DOC = (
+        "wall-clock read (time.*/datetime.now) inside a simulator model "
+        "package; simulated behaviour must depend only on cycle counts"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_simulator(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_name(node.func)
+            if dotted in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read {dotted}() in simulator package "
+                    f"repro.{ctx.module_head}; derive timing from cycle "
+                    f"counters",
+                    callee=dotted,
+                )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """D103: iteration over a set in simulator hot paths.
+
+    CPython iterates sets in hash-table order.  For ``int`` keys that
+    order is stable, but one refactor to tuple or object elements makes
+    results machine-dependent.  Iterate ``sorted(the_set)`` or restructure;
+    order-independent reductions can carry a ``# repro: allow[D103]`` with
+    a justification.
+    """
+
+    RULE_ID = "D103"
+    RULE_DOC = (
+        "iteration over a set in a simulator package; iterate "
+        "sorted(...) or justify with # repro: allow[D103]"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_simulator(ctx):
+            return
+        set_names = self._set_typed_names(ctx)
+        for node in ast.walk(ctx.tree):
+            targets = []
+            if isinstance(node, ast.For):
+                targets = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                targets = [gen.iter for gen in node.generators]
+            for it in targets:
+                if self._is_set_expr(it, set_names):
+                    yield self.finding(
+                        ctx, it,
+                        "iterating a set (hash order); iterate sorted(...) "
+                        "or an order-independent reduction with an allow "
+                        "comment",
+                    )
+
+    @staticmethod
+    def _set_typed_names(ctx: FileContext) -> Set[str]:
+        """Names annotated or assigned as sets anywhere in the module."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                ann = ast.unparse(node.annotation)
+                if ann.split("[")[0].split(".")[-1] in ("Set", "set",
+                                                        "FrozenSet",
+                                                        "frozenset"):
+                    names.update(_bound_name(target))
+                continue
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if _is_set_ctor(value):
+                    for tgt in node.targets:
+                        names.update(_bound_name(tgt))
+        return names
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+        if _is_set_ctor(node):
+            return True
+        for name in _bound_name(node):
+            if name in set_names:
+                return True
+        return False
+
+
+def _is_set_ctor(node: Optional[ast.expr]) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _bound_name(node: Optional[ast.expr]):
+    """The trackable name of an assignment target / iterable expression.
+
+    ``x`` -> ``x``; ``self.x`` -> ``self.x``; anything else -> nothing.
+    """
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        yield f"self.{node.attr}"
+
+
+@register_rule
+class IdOrderingRule(Rule):
+    """D104: ``id()`` used as an ordering or sort key.
+
+    CPython object addresses vary run to run; any ordering derived from
+    them is nondeterministic by construction.
+    """
+
+    RULE_ID = "D104"
+    RULE_DOC = "id()-based ordering (sort key or comparison) is address-dependent"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "key" and self._mentions_id(kw.value):
+                        yield self.finding(
+                            ctx, node,
+                            "sort/ordering key uses id(); object addresses "
+                            "differ between runs",
+                        )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                ordered = any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                )
+                if ordered and any(self._is_id_call(o) for o in operands):
+                    yield self.finding(
+                        ctx, node,
+                        "ordered comparison of id() values; object "
+                        "addresses differ between runs",
+                    )
+
+    @staticmethod
+    def _is_id_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        )
+
+    def _mentions_id(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        return any(self._is_id_call(n) for n in ast.walk(node))
+
+
+#: the two modules allowed to read process environment directly; everything
+#: else takes configuration through ProcessorConfig / function parameters
+ENV_ALLOWED_MODULES = ("repro.faults", "repro.config")
+
+
+@register_rule
+class EnvReadRule(Rule):
+    """D105: ``os.environ`` / ``os.getenv`` reads outside the sanctioned
+    modules.
+
+    Environment reads are invisible configuration: two "identical" runs on
+    two machines diverge with no record of why.  ``repro.config`` owns the
+    documented environment switches (and provides ``env_text``/``env_flag``
+    accessors); ``repro.faults`` owns the fault-injection plan channel.
+    """
+
+    RULE_ID = "D105"
+    RULE_DOC = (
+        "os.environ/os.getenv read outside repro.config / repro.faults; "
+        "route through repro.config.env_text/env_flag"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module is None or ctx.module in ENV_ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            dotted = None
+            if isinstance(node, ast.Call):
+                dotted = ctx.resolve_name(node.func)
+                if dotted not in ("os.getenv", "os.environ.get"):
+                    dotted = None
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                dotted = ctx.resolve_name(node.value)
+                if dotted != "os.environ":
+                    dotted = None
+            if dotted is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"environment read ({dotted}) outside repro.config/"
+                    f"repro.faults; use repro.config.env_text/env_flag",
+                    callee=dotted,
+                )

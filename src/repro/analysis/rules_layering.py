@@ -1,0 +1,170 @@
+"""L-rules: layering.
+
+The architecture is a one-directional stack::
+
+    errors, timing, _version                     (0)
+    stats, config, faults                        (1)
+    workloads, energy                            (2)
+    frontend, clusters, interconnect             (3)
+    memory                                       (4)
+    pipeline                                     (5)
+    core                                         (6)
+    experiments                                  (7)
+    api, partition                               (8)
+    cli, analysis                                (9)
+    __init__, __main__                           (10)
+
+A module may import strictly *down* the stack (lower rank).  Sibling
+modules at the same rank are independent by design (the four rank-3
+hardware-model packages know nothing of each other), so same-rank
+cross-imports are back-edges too.  Function-local (lazy) imports count:
+laziness changes *when* a cycle bites, not whether the layering holds.
+
+L202 separately bans the three deprecated pre-facade call spellings inside
+the repo now that :mod:`repro.api` is the stable surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from .context import FileContext, ProjectContext
+from .findings import Finding
+from .registry import Rule, register_rule
+
+#: top-level component of ``repro`` -> layer rank (lower = more fundamental)
+LAYER_RANKS: Dict[str, int] = {
+    "errors": 0,
+    "timing": 0,
+    "stats": 1,
+    "config": 1,
+    "faults": 1,
+    "workloads": 2,
+    "energy": 2,
+    "frontend": 3,
+    "clusters": 3,
+    "interconnect": 3,
+    # memory sits above interconnect: the decentralized cache routes bank
+    # transfers over the cluster network (hierarchy.py imports Network)
+    "memory": 4,
+    "pipeline": 5,
+    "core": 6,
+    "experiments": 7,
+    "api": 8,
+    "partition": 8,
+    "cli": 9,
+    "analysis": 9,
+    "_version": 0,
+    "__init__": 10,
+    "__main__": 10,
+}
+
+
+def _head_of(dotted: str) -> Optional[str]:
+    """Top-level ``repro`` component of an absolute dotted import target."""
+    parts = dotted.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "__init__"
+
+
+@register_rule
+class LayeringRule(Rule):
+    """L201: import against the layering (up-stack or cross-sibling)."""
+
+    RULE_ID = "L201"
+    RULE_DOC = (
+        "layering violation: a repro module may only import strictly "
+        "lower-ranked repro modules"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.repro_files():
+            head = ctx.module_head
+            rank = LAYER_RANKS.get(head)
+            if rank is None or head in ("__init__", "__main__"):
+                # package root re-exports everything by design
+                continue
+            for edge in ctx.imports:
+                target_head = _head_of(edge.target)
+                if target_head is None or target_head == head:
+                    continue
+                target_rank = LAYER_RANKS.get(target_head)
+                if target_rank is None:
+                    yield Finding(
+                        ctx.display_path, edge.lineno, edge.col, self.RULE_ID,
+                        f"import of unknown repro component "
+                        f"repro.{target_head}; add it to the layer map in "
+                        f"repro.analysis.rules_layering",
+                    )
+                elif target_rank >= rank:
+                    direction = (
+                        "up-stack" if target_rank > rank else "cross-sibling"
+                    )
+                    yield Finding(
+                        ctx.display_path, edge.lineno, edge.col, self.RULE_ID,
+                        f"{direction} import: repro.{head} (layer {rank}) "
+                        f"imports repro.{target_head} (layer {target_rank})",
+                        detail={
+                            "importer": ctx.module,
+                            "imported": edge.target,
+                        },
+                    )
+
+
+#: the deprecated pre-facade spellings: callable origin -> maximum number
+#: of positional arguments the keyword-era signature accepts
+_LEGACY_POSITIONAL_LIMITS = {
+    # engine entry point: simulate(trace, config, *, controller=, ...)
+    "repro.pipeline.processor.simulate": 2,
+    # runner entry point: run_trace(trace, config, controller=None, *, ...)
+    "repro.experiments.runner.run_trace": 3,
+    # facade: simulate(workload, **spec-kwargs); positional config/controller
+    # selects the deprecated SimStats-returning shim
+    "repro.api.simulate": 1,
+    "repro.simulate": 1,
+}
+
+
+@register_rule
+class LegacyEntryPointRule(Rule):
+    """L202: deprecated pre-facade call spellings.
+
+    The three legacy entry-point spellings (positional
+    ``config``/``controller``/``warmup`` arguments to ``api.simulate``,
+    ``pipeline.processor.simulate`` and ``experiments.runner.run_trace``)
+    only survive as :class:`DeprecationWarning` shims for external callers;
+    repo-internal code must use the keyword vocabulary so the shims can
+    eventually be deleted.
+    """
+
+    RULE_ID = "L202"
+    RULE_DOC = (
+        "deprecated pre-facade positional call spelling; pass "
+        "controller=/warmup=/processor= by keyword or use repro.api"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_name(node.func)
+            if dotted is None:
+                continue
+            limit = _LEGACY_POSITIONAL_LIMITS.get(dotted)
+            if limit is None:
+                continue
+            positional = [a for a in node.args if not isinstance(a, ast.Starred)]
+            if len(node.args) > len(positional):
+                continue  # *args splat: cannot judge statically
+            if len(positional) > limit:
+                yield self.finding(
+                    ctx, node,
+                    f"deprecated positional spelling of {dotted} "
+                    f"({len(positional)} positional args; keyword-era "
+                    f"signature takes {limit})",
+                    callee=dotted,
+                    positional=len(positional),
+                )

@@ -1,0 +1,243 @@
+"""S-rules: statistics conservation and facade-vocabulary validation.
+
+A parallel sweep is only correct if per-shard statistics merge losslessly
+(S301), and a 20-minute sweep should never die — or worse, silently run a
+default — because of a typo'd keyword or benchmark name that lint could
+have caught (S302/S303).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Set
+
+from .context import FileContext, ProjectContext
+from .findings import Finding
+from .registry import Rule, register_rule
+
+_STATIC_POLICY_RE = re.compile(r"^static-\d+$")
+
+
+@register_rule
+class MergeCoverageRule(Rule):
+    """S301: every ``SimStats`` field must appear in ``SimStats.merge``.
+
+    ``merge`` enumerates its fields explicitly (one ``self.x += other.x``
+    per counter) so that *this rule* can prove, statically, that no field
+    is dropped when parallel sweep shards are aggregated.  A new field
+    that ``merge`` does not mention is exactly the bug class where every
+    per-run number is right and every aggregated report is silently wrong.
+    """
+
+    RULE_ID = "S301"
+    RULE_DOC = (
+        "SimStats field not handled by SimStats.merge; parallel sweeps "
+        "would silently drop it during aggregation"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        ctx = project.find_module("repro.stats")
+        if ctx is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "SimStats":
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef):
+        fields = {}
+        merge: Optional[ast.FunctionDef] = None
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if not stmt.target.id.startswith("_"):
+                    fields[stmt.target.id] = stmt
+            elif (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "merge"
+            ):
+                merge = stmt
+        if merge is None:
+            if fields:
+                yield self.finding(
+                    ctx, cls,
+                    "SimStats has no merge method; parallel sweep "
+                    "aggregation is impossible",
+                )
+            return
+        handled = self._attributes_touched(merge)
+        generic = self._is_generic_merge(merge)
+        for name, decl in fields.items():
+            if generic or name in handled:
+                continue
+            yield self.finding(
+                ctx, decl,
+                f"SimStats.{name} is not handled in SimStats.merge "
+                f"(declared at line {decl.lineno}); add it to merge or "
+                f"aggregated sweep statistics will drop it",
+                field=name,
+                merge_line=merge.lineno,
+            )
+
+    @staticmethod
+    def _attributes_touched(merge: ast.FunctionDef) -> Set[str]:
+        return {
+            node.attr
+            for node in ast.walk(merge)
+            if isinstance(node, ast.Attribute)
+        }
+
+    @staticmethod
+    def _is_generic_merge(merge: ast.FunctionDef) -> bool:
+        """True when merge iterates ``dataclasses.fields`` + ``setattr``.
+
+        A reflective merge handles every field by construction; the rule
+        then has nothing to prove.  (``repro.stats`` deliberately uses the
+        explicit spelling instead, trading three lines per counter for a
+        statically checkable conservation property.)
+        """
+        source_names = {
+            node.attr if isinstance(node, ast.Attribute) else node.id
+            for node in ast.walk(merge)
+            if isinstance(node, (ast.Attribute, ast.Name))
+        }
+        return "fields" in source_names and "setattr" in source_names
+
+
+#: call targets validated against the SimSpec field vocabulary; the
+#: values are extra keywords that particular callable also accepts
+_SPEC_CALLS = {
+    "repro.api.SimSpec": frozenset(),
+    "repro.SimSpec": frozenset(),
+    # the facade still accepts (deprecated) config=/controller= keywords
+    "repro.api.simulate": frozenset({"config", "controller"}),
+    "repro.simulate": frozenset({"config", "controller"}),
+}
+
+_SWEEP_CALLS = ("repro.api.sweep", "repro.sweep")
+
+
+@register_rule
+class UnknownKeywordRule(Rule):
+    """S302: unknown keyword in a ``SimSpec``/``simulate``/``sweep`` call."""
+
+    RULE_ID = "S302"
+    RULE_DOC = (
+        "keyword not in the repro.api vocabulary; it would raise (or be "
+        "silently absorbed) only after the sweep starts"
+    )
+    scope = "file"
+
+    #: set by the runner before file rules execute
+    project: Optional[ProjectContext] = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        vocab = self.project.vocabulary if self.project else None
+        if vocab is None or not vocab.simspec_fields:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _SPEC_CALLS:
+                allowed = vocab.simspec_fields | _SPEC_CALLS[dotted]
+                kind = dotted.rsplit(".", 1)[-1]
+            elif dotted in _SWEEP_CALLS and vocab.sweep_keywords:
+                allowed = vocab.sweep_keywords
+                kind = "sweep"
+            else:
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:  # **splat: cannot judge statically
+                    continue
+                if kw.arg not in allowed:
+                    yield self.finding(
+                        ctx, kw.value,
+                        f"unknown keyword {kw.arg!r} in {kind}() call; "
+                        f"the vocabulary is {sorted(allowed)}",
+                        keyword=kw.arg,
+                        callee=dotted,
+                    )
+
+
+@register_rule
+class VocabularyLiteralRule(Rule):
+    """S303: invalid topology/policy/workload string literal.
+
+    A misspelled ``topology="gird"`` raises only once the spec reaches a
+    worker; a misspelled benchmark name can select a default profile in
+    older call paths.  Both are knowable from the source.
+    """
+
+    RULE_ID = "S303"
+    RULE_DOC = (
+        "string literal outside the facade vocabulary (topology/"
+        "reconfig_policy/workload)"
+    )
+    scope = "file"
+
+    project: Optional[ProjectContext] = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        vocab = self.project.vocabulary if self.project else None
+        if vocab is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_name(node.func)
+            if dotted not in _SPEC_CALLS:
+                continue
+            for kw in node.keywords:
+                value = kw.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    continue
+                text = value.value
+                if kw.arg == "topology" and vocab.topologies:
+                    if text not in vocab.topologies:
+                        yield self.finding(
+                            ctx, value,
+                            f"unknown topology {text!r}; choose from "
+                            f"{sorted(vocab.topologies)}",
+                            value=text,
+                        )
+                elif kw.arg == "reconfig_policy" and vocab.policies:
+                    if text not in vocab.policies and not _STATIC_POLICY_RE.match(
+                        text
+                    ):
+                        yield self.finding(
+                            ctx, value,
+                            f"unknown reconfig_policy {text!r}; choose from "
+                            f"{sorted(vocab.policies)} or 'static-<n>'",
+                            value=text,
+                        )
+                elif kw.arg == "workload" and vocab.workloads:
+                    if text not in vocab.workloads:
+                        yield self.finding(
+                            ctx, value,
+                            f"unknown workload {text!r}; profiles are "
+                            f"{sorted(vocab.workloads)}",
+                            value=text,
+                        )
+            # first positional argument of simulate()/SimSpec() is the
+            # workload; validate string-literal spellings there too
+            if node.args and vocab.workloads:
+                first = node.args[0]
+                if (
+                    isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                    and first.value not in vocab.workloads
+                ):
+                    yield self.finding(
+                        ctx, first,
+                        f"unknown workload {first.value!r}; profiles are "
+                        f"{sorted(vocab.workloads)}",
+                        value=first.value,
+                    )

@@ -1,0 +1,115 @@
+"""Static extraction of the ``repro.api`` facade vocabulary.
+
+The S-rules validate call sites against what the facade actually accepts.
+Rather than hard-coding that vocabulary (which would drift), it is read
+from the AST of ``repro/api.py`` and ``repro/workloads/profiles.py`` —
+from the scanned file set when they are part of the run, falling back to
+the installed package next to this module otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Optional, Set
+
+from .context import ProjectContext, Vocabulary
+
+
+def _string_elts(node: ast.expr) -> Set[str]:
+    """String constants in a tuple/list/set literal (else empty)."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return {
+            e.value
+            for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        }
+    return set()
+
+
+def _dict_string_keys(node: ast.expr) -> Set[str]:
+    if isinstance(node, ast.Dict):
+        return {
+            k.value
+            for k in node.keys
+            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+        }
+    return set()
+
+
+def _assigned_value(tree: ast.AST, name: str) -> Optional[ast.expr]:
+    """The value of the first module-level ``name = ...`` / ``name: T = ...``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                return node.value
+    return None
+
+
+def _class_fields(tree: ast.AST, class_name: str) -> Set[str]:
+    """Annotated field names declared directly in ``class_name``'s body."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+            }
+    return set()
+
+
+def _kwonly_params(tree: ast.AST, func_name: str) -> Set[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == func_name:
+            return {a.arg for a in node.args.kwonlyargs}
+    return set()
+
+
+def _load_tree(project: ProjectContext, module: str, filename: str):
+    """AST of ``module`` from the scanned set, else from the package on disk."""
+    ctx = project.find_module(module)
+    if ctx is not None:
+        return ctx.tree
+    path = pathlib.Path(__file__).resolve().parent.parent / filename
+    if path.exists():
+        try:
+            return ast.parse(path.read_text(encoding="utf-8"), str(path))
+        except SyntaxError:
+            return None
+    return None
+
+
+def build_vocabulary(project: ProjectContext) -> Optional[Vocabulary]:
+    """The facade vocabulary, or ``None`` when ``repro/api.py`` is absent
+    (the S-rules that need it then skip rather than guess)."""
+    api_tree = _load_tree(project, "repro.api", "api.py")
+    if api_tree is None:
+        return None
+    vocab = Vocabulary(
+        simspec_fields=_class_fields(api_tree, "SimSpec"),
+        sweep_keywords=_kwonly_params(api_tree, "sweep"),
+    )
+    topologies = _assigned_value(api_tree, "_TOPOLOGIES")
+    if topologies is not None:
+        vocab.topologies = _dict_string_keys(topologies) | {"monolithic"}
+    policies = _assigned_value(api_tree, "_POLICIES")
+    if policies is not None:
+        vocab.policies = _string_elts(policies) | {"", "static"}
+    profiles_tree = _load_tree(
+        project, "repro.workloads.profiles", "workloads/profiles.py"
+    )
+    if profiles_tree is not None:
+        factories = _assigned_value(profiles_tree, "_PROFILE_FACTORIES")
+        if factories is not None:
+            vocab.workloads = _dict_string_keys(factories)
+    return vocab

@@ -14,10 +14,33 @@ hashed, and swept without aliasing surprises.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional
 
 from .errors import ConfigError
+
+# ----------------------------------------------------------------------
+# Environment access.
+#
+# This module (plus repro.faults, which owns the fault-plan channel) is
+# the only place allowed to touch os.environ: ad-hoc environment reads
+# are invisible configuration, and the D105 static-analysis rule flags
+# them everywhere else.  Callers document their switch with a module
+# constant and read it through these helpers.
+
+#: values meaning "off" for boolean environment switches
+_FALSE_VALUES = ("", "0", "false", "no", "off")
+
+
+def env_text(name: str, default: str = "") -> str:
+    """The raw value of environment switch ``name`` (``default`` if unset)."""
+    return os.environ.get(name, default)
+
+
+def env_flag(name: str) -> bool:
+    """Boolean environment switch: set to anything but ``0/false/no/off``."""
+    return env_text(name).lower() not in _FALSE_VALUES
 
 # Execution latencies (cycles), patterned on Simplescalar/Alpha 21264.
 INT_ALU_LATENCY = 1

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ProcessorConfig, default_config
-from ..stats import IntervalRecord, IntervalTracker, merge_records
-from ..workloads.instruction import Instr, Trace
+from ..stats import IntervalRecord, merge_records
+from ..workloads.instruction import Trace
 from .controller import IntervalController
 from .phase import PhaseDetectConfig, PhaseReference, compare_to_reference
 

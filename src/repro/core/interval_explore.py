@@ -18,10 +18,9 @@ configuration (Figure 4's ``discontinue_algorithm``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..stats import IntervalWindow
-from ..workloads.instruction import Instr
 from .controller import IntervalController
 from .phase import PhaseDetectConfig, PhaseReference, compare_to_reference
 

@@ -17,15 +17,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import (
     ClusterConfig,
-    InterconnectConfig,
     ProcessorConfig,
     decentralized_config,
     default_config,
     grid_config,
-    monolithic_config,
 )
-from ..core import ExploreConfig, FineGrainConfig, NoExploreConfig
-from ..workloads.profiles import BENCHMARK_NAMES, get_profile
+from ..core import ExploreConfig, NoExploreConfig
+from ..workloads.profiles import BENCHMARK_NAMES
 from .reporting import geomean, ipc_table
 from .runner import DEFAULT_SEED, RunResult, scaled_length
 from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok

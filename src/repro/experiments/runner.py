@@ -8,12 +8,11 @@ over two billion fast-forwarded instructions).
 
 from __future__ import annotations
 
-import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from ..config import ProcessorConfig, default_config
+from ..config import ProcessorConfig, env_text
 from ..pipeline.processor import ClusteredProcessor
 from ..stats import SimStats
 from ..workloads.generator import Profile, generate_trace
@@ -30,7 +29,7 @@ DEFAULT_SEED = 7
 
 def trace_scale() -> float:
     try:
-        return max(0.1, float(os.environ.get(TRACE_SCALE_ENV, "1")))
+        return max(0.1, float(env_text(TRACE_SCALE_ENV, "1")))
     except ValueError:
         return 1.0
 

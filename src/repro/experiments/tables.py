@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..config import default_config, monolithic_config
 from ..core.instability import InstabilityProfile, instability_profile
 from ..core.phase import PhaseDetectConfig
-from ..workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, PAPER_TABLE4, get_profile
+from ..workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, PAPER_TABLE4
 from .reporting import format_table
 from .runner import RunResult, scaled_length
 from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok

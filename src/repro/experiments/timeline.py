@@ -9,7 +9,7 @@ tracking, fine-grained thrash) without a waveform viewer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 from ..workloads.instruction import Instr
 

@@ -12,7 +12,7 @@ considers two options:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
 
 
 class Topology:

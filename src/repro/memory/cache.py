@@ -7,7 +7,7 @@ scheduling is handled by :class:`BankScheduler`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..config import CacheConfig
 from ..timing import SlotReserver

@@ -12,7 +12,7 @@ paper does).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..errors import SimulationError
 from .lsq import MemAccess

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..config import MemoryConfig, ProcessorConfig
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError
 from ..interconnect.network import Network
 from ..stats import SimStats
 from ..workloads.instruction import Instr

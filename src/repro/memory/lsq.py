@@ -96,7 +96,10 @@ class CentralizedLSQ:
             return min(self._unresolved_stores) < load.index
         word = load.word
         entries = self._entries
-        for index in self._unresolved_stores:
+        # Order-independent any-match over int indices: the result cannot
+        # depend on hash iteration order, and sorting here would cost the
+        # hot path for nothing.
+        for index in self._unresolved_stores:  # repro: allow[D103]
             if index < load.index and entries[index].word == word:
                 return True
         return False

@@ -34,9 +34,9 @@ it); the default is off so production sweeps pay nothing.
 from __future__ import annotations
 
 import math
-import os
 from typing import TYPE_CHECKING
 
+from ..config import env_flag
 from ..errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,14 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: environment toggle consulted when ``config.check_invariants`` is None
 INVARIANTS_ENV = "REPRO_CHECK_INVARIANTS"
 
-_FALSE_VALUES = ("", "0", "false", "no", "off")
-
 
 def invariants_enabled(config: "ProcessorConfig") -> bool:
     """Resolve the three-state toggle: config wins, then the environment."""
     if config.check_invariants is not None:
         return config.check_invariants
-    return os.environ.get(INVARIANTS_ENV, "").lower() not in _FALSE_VALUES
+    return env_flag(INVARIANTS_ENV)
 
 
 class InvariantChecker:

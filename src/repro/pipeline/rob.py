@@ -31,7 +31,9 @@ class InFlight:
         "squashed",
     )
 
-    def __init__(self, instr: Instr, cluster: int, dispatch_cycle: int, earliest_issue: int) -> None:
+    def __init__(
+        self, instr: Instr, cluster: int, dispatch_cycle: int, earliest_issue: int
+    ) -> None:
         self.instr = instr
         self.cluster = cluster
         self.dispatch_cycle = dispatch_cycle

@@ -12,8 +12,8 @@ produced by walking this structure iteration by iteration
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 from .addresses import (
     AddressStream,

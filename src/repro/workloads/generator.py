@@ -9,8 +9,8 @@ what the paper's controllers must detect and react to.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..errors import WorkloadError
 from .blocks import LoopBody, PhaseParams, StaticInstr, build_loop_body

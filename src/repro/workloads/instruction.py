@@ -12,7 +12,7 @@ operand, which is all the paper's mechanisms need.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 
 class OpClass(IntEnum):

@@ -1,0 +1,60 @@
+"""Fixtures for the static-analysis test suite.
+
+Rules are exercised against *synthetic* package trees written into
+``tmp_path``: ``make_tree`` turns ``{"repro/clusters/foo.py": source}``
+into a real on-disk package (``__init__.py`` files auto-created) and
+``run_analysis`` lints it, so every rule is tested end to end through the
+same file-collection/suppression machinery the CLI uses.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relative_path: source}`` under tmp_path as a package tree."""
+
+    def _make(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # every ancestor dir below tmp_path becomes a package
+            for parent in path.parents:
+                if parent == tmp_path:
+                    break
+                init = parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+            path.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return _make
+
+
+@pytest.fixture
+def run_analysis(make_tree, tmp_path):
+    """Lint a synthetic tree; returns the AnalysisResult."""
+
+    def _run(files, select=(), ignore=()):
+        make_tree(files)
+        return analyze_paths([tmp_path], root=tmp_path, select=select,
+                             ignore=ignore)
+
+    return _run
+
+
+@pytest.fixture
+def findings_of(run_analysis):
+    """Lint and return just the (rule, path) pairs plus full findings."""
+
+    def _run(files, select=(), ignore=()):
+        return run_analysis(files, select=select, ignore=ignore).findings
+
+    return _run

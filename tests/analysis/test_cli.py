@@ -1,0 +1,157 @@
+"""The ``python -m repro.analysis`` front end: formats, exit codes, baseline."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+from .conftest import REPO_ROOT
+
+DIRTY = """
+import random
+
+def pick():
+    return random.random()
+"""
+
+CLEAN = """
+import random
+
+def pick(seed):
+    return random.Random(seed).random()
+"""
+
+
+@pytest.fixture
+def dirty_tree(make_tree):
+    return make_tree({"repro/pipeline/p.py": DIRTY})
+
+
+@pytest.fixture
+def clean_tree(make_tree):
+    return make_tree({"repro/pipeline/p.py": CLEAN})
+
+
+def run_cli(capsys, *argv):
+    code = main([str(a) for a in argv])
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestExitCodesAndFormats:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        code, out = run_cli(capsys, clean_tree, "--root", clean_tree,
+                            "--no-baseline")
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one_with_location(self, dirty_tree, capsys):
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree,
+                            "--no-baseline", "--select", "D101")
+        assert code == 1
+        assert "repro/pipeline/p.py:5:11: D101" in out
+
+    def test_json_format(self, dirty_tree, capsys):
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree,
+                            "--no-baseline", "--format", "json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"D101": 1}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "D101"
+        assert finding["path"] == "repro/pipeline/p.py"
+        assert finding["line"] == 5
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([str(tmp_path / "does-not-exist")])
+        assert exc.value.code == 2
+
+    def test_list_rules(self, capsys):
+        code, out = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ("D101", "D102", "D103", "D104", "D105",
+                        "L201", "L202", "S301", "S302", "S303"):
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_rerun_exits_zero(self, dirty_tree, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(dirty_tree)
+        code, _ = run_cli(capsys, dirty_tree, "--root", dirty_tree,
+                          "--write-baseline")
+        assert code == 0
+        assert (dirty_tree / "analysis-baseline.json").exists()
+
+        # baselined debt no longer fails the build...
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree)
+        assert code == 0
+        assert "1 baselined" in out
+
+        # ...but a NEW violation still does
+        extra = dirty_tree / "repro" / "pipeline" / "q.py"
+        extra.write_text(DIRTY)
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree)
+        assert code == 1
+        assert "repro/pipeline/q.py" in out
+
+    def test_stale_entries_noted_once_debt_paid(self, dirty_tree, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(dirty_tree)
+        run_cli(capsys, dirty_tree, "--root", dirty_tree, "--write-baseline")
+        (dirty_tree / "repro" / "pipeline" / "p.py").write_text(CLEAN)
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree)
+        assert code == 0
+        assert "stale baseline entry" in out
+
+    def test_corrupt_baseline_is_an_error(self, dirty_tree, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(dirty_tree)
+        (dirty_tree / "analysis-baseline.json").write_text("{not json")
+        code, _ = run_cli(capsys, dirty_tree, "--root", dirty_tree)
+        assert code == 2
+
+
+class TestSuppressionDisplay:
+    def test_show_suppressed_lists_them(self, make_tree, capsys):
+        tree = make_tree({
+            "repro/pipeline/p.py": DIRTY.replace(
+                "random.random()", "random.random()  # repro: allow[D101]"
+            ),
+        })
+        code, out = run_cli(capsys, tree, "--root", tree, "--no-baseline",
+                            "--show-suppressed")
+        assert code == 0
+        assert "1 suppressed" in out
+        assert "D101" in out
+
+
+class TestRealTree:
+    def test_shipping_tree_is_clean(self, capsys):
+        paths = [REPO_ROOT / p for p in ("src", "benchmarks", "examples")
+                 if (REPO_ROOT / p).exists()]
+        code, out = run_cli(capsys, *paths, "--root", REPO_ROOT,
+                            "--no-baseline")
+        assert code == 0, out
+
+    def test_module_entry_point(self, tmp_path):
+        """``python -m repro.analysis`` works as a subprocess (the CI spelling)."""
+        pkg = tmp_path / "repro" / "pipeline"
+        pkg.mkdir(parents=True)
+        for d in (tmp_path / "repro", pkg):
+            (d / "__init__.py").write_text("")
+        (pkg / "p.py").write_text(DIRTY)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path),
+             "--root", str(tmp_path), "--no-baseline", "--format", "json"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["counts"] == {"D101": 1}

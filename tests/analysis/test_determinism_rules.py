@@ -1,0 +1,253 @@
+"""D-rules: positive and negative fixtures for every determinism rule."""
+
+
+def rules_hit(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestD101UnseededRandom:
+    def test_module_level_random_flagged(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/processor.py": """
+                import random
+
+                def pick():
+                    return random.random() + random.randint(0, 3)
+            """,
+        }, select=["D101"])
+        assert len(found) == 2
+        assert all(f.rule == "D101" for f in found)
+        assert found[0].line == 5
+
+    def test_from_import_spelling_flagged(self, findings_of):
+        found = findings_of({
+            "repro/workloads/generator.py": """
+                from random import shuffle
+
+                def mix(xs):
+                    shuffle(xs)
+            """,
+        }, select=["D101"])
+        assert rules_hit(found) == ["D101"]
+
+    def test_flagged_outside_the_package_too(self, findings_of):
+        found = findings_of({
+            "examples_dir/demo.py": """
+                import random
+                print(random.choice([1, 2]))
+            """,
+        }, select=["D101"])
+        assert rules_hit(found) == ["D101"]
+
+    def test_seeded_instance_ok(self, findings_of):
+        found = findings_of({
+            "repro/workloads/generator.py": """
+                import random
+
+                def make(seed):
+                    rng = random.Random(seed)
+                    return rng.random() + rng.choice([1, 2])
+            """,
+        }, select=["D101"])
+        assert found == []
+
+    def test_numpy_global_flagged_default_rng_ok(self, findings_of):
+        found = findings_of({
+            "repro/core/phase.py": """
+                import numpy
+
+                def draw():
+                    good = numpy.random.default_rng(7)
+                    return numpy.random.rand() + good.random()
+            """,
+        }, select=["D101"])
+        assert len(found) == 1
+        assert "numpy.random.rand" in found[0].message
+
+
+class TestD102WallClock:
+    def test_perf_counter_in_pipeline_flagged(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/ticker.py": """
+                import time
+
+                def stamp():
+                    return time.perf_counter()
+            """,
+        }, select=["D102"])
+        assert rules_hit(found) == ["D102"]
+
+    def test_datetime_now_in_core_flagged(self, findings_of):
+        found = findings_of({
+            "repro/core/controller2.py": """
+                from datetime import datetime
+
+                def now():
+                    return datetime.now()
+            """,
+        }, select=["D102"])
+        assert rules_hit(found) == ["D102"]
+
+    def test_harness_layers_may_time_themselves(self, findings_of):
+        found = findings_of({
+            "repro/experiments/sweep2.py": """
+                import time
+
+                def measure():
+                    return time.perf_counter()
+            """,
+        }, select=["D102"])
+        assert found == []
+
+    def test_time_sleep_is_not_a_clock_read(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/waiter.py": """
+                import time
+
+                def pause():
+                    time.sleep(0.1)
+            """,
+        }, select=["D102"])
+        assert found == []
+
+
+class TestD103SetIteration:
+    def test_for_over_set_attribute_flagged(self, findings_of):
+        found = findings_of({
+            "repro/memory/lsq2.py": """
+                from typing import Set
+
+                class LSQ:
+                    def __init__(self):
+                        self.pending: Set[int] = set()
+
+                    def scan(self):
+                        for i in self.pending:
+                            print(i)
+            """,
+        }, select=["D103"])
+        assert rules_hit(found) == ["D103"]
+
+    def test_comprehension_over_set_local_flagged(self, findings_of):
+        found = findings_of({
+            "repro/clusters/pick.py": """
+                def pick(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+            """,
+        }, select=["D103"])
+        assert rules_hit(found) == ["D103"]
+
+    def test_sorted_iteration_ok(self, findings_of):
+        found = findings_of({
+            "repro/memory/lsq3.py": """
+                class LSQ:
+                    def __init__(self):
+                        self.pending = set()
+
+                    def scan(self):
+                        for i in sorted(self.pending):
+                            print(i)
+            """,
+        }, select=["D103"])
+        assert found == []
+
+    def test_outside_simulator_packages_ok(self, findings_of):
+        found = findings_of({
+            "repro/experiments/agg.py": """
+                def agg(xs):
+                    for x in set(xs):
+                        print(x)
+            """,
+        }, select=["D103"])
+        assert found == []
+
+
+class TestD104IdOrdering:
+    def test_sort_key_id_flagged(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/order.py": """
+                def order(xs):
+                    return sorted(xs, key=id)
+            """,
+        }, select=["D104"])
+        assert rules_hit(found) == ["D104"]
+
+    def test_id_comparison_flagged(self, findings_of):
+        found = findings_of({
+            "repro/clusters/cmp.py": """
+                def earlier(a, b):
+                    return id(a) < id(b)
+            """,
+        }, select=["D104"])
+        assert rules_hit(found) == ["D104"]
+
+    def test_id_equality_and_other_keys_ok(self, findings_of):
+        found = findings_of({
+            "repro/clusters/cmp2.py": """
+                def same(a, b):
+                    return id(a) == id(b)
+
+                def order(xs):
+                    return sorted(xs, key=len)
+            """,
+        }, select=["D104"])
+        assert found == []
+
+
+class TestD105EnvReads:
+    def test_environ_get_flagged(self, findings_of):
+        found = findings_of({
+            "repro/experiments/knobs.py": """
+                import os
+
+                def knob():
+                    return os.environ.get("REPRO_X", "")
+            """,
+        }, select=["D105"])
+        assert rules_hit(found) == ["D105"]
+
+    def test_getenv_and_subscript_flagged(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/knobs.py": """
+                import os
+
+                def knobs():
+                    return os.getenv("A"), os.environ["B"]
+            """,
+        }, select=["D105"])
+        assert len(found) == 2
+
+    def test_config_and_faults_are_sanctioned(self, findings_of):
+        source = """
+            import os
+
+            def read():
+                return os.environ.get("REPRO_X")
+        """
+        found = findings_of({
+            "repro/config.py": source,
+            "repro/faults.py": source,
+        }, select=["D105"])
+        assert found == []
+
+    def test_loose_scripts_outside_package_ok(self, findings_of):
+        # benchmarks/examples harness scripts may read their own knobs
+        found = findings_of({
+            "bench_dir/conftest.py": """
+                import os
+                SCALE = os.environ.get("REPRO_TRACE_SCALE", "1")
+            """,
+        }, select=["D105"])
+        assert found == []
+
+    def test_environ_write_is_not_a_read(self, findings_of):
+        found = findings_of({
+            "repro/experiments/setter.py": """
+                import os
+
+                def arm(value):
+                    os.environ["REPRO_FAULT_PLAN"] = value
+            """,
+        }, select=["D105"])
+        assert found == []

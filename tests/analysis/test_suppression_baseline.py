@@ -1,0 +1,116 @@
+"""Per-line suppressions and the committed-baseline mechanism."""
+
+import json
+
+from repro.analysis.baseline import (
+    load_baseline,
+    split_by_baseline,
+    stale_entries,
+    write_baseline,
+)
+from repro.analysis.context import parse_suppressions
+from repro.analysis.findings import Finding
+
+VIOLATING = """
+import random
+
+def pick():
+    return random.random(){comment}
+"""
+
+
+class TestSuppressionComments:
+    def test_matching_rule_id_suppresses(self, run_analysis):
+        result = run_analysis({
+            "repro/pipeline/p.py": VIOLATING.format(
+                comment="  # repro: allow[D101]"
+            ),
+        }, select=["D101"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["D101"]
+
+    def test_non_matching_rule_id_does_not_suppress(self, run_analysis):
+        result = run_analysis({
+            "repro/pipeline/p.py": VIOLATING.format(
+                comment="  # repro: allow[D105]"
+            ),
+        }, select=["D101"])
+        assert [f.rule for f in result.findings] == ["D101"]
+        assert result.suppressed == []
+
+    def test_bare_allow_suppresses_everything(self, run_analysis):
+        result = run_analysis({
+            "repro/pipeline/p.py": VIOLATING.format(comment="  # repro: allow"),
+        }, select=["D101"])
+        assert result.findings == []
+
+    def test_comment_on_other_line_does_not_leak(self, run_analysis):
+        result = run_analysis({
+            "repro/pipeline/p.py": (
+                "# repro: allow[D101]\n" + VIOLATING.format(comment="")
+            ),
+        }, select=["D101"])
+        assert [f.rule for f in result.findings] == ["D101"]
+
+    def test_multiple_ids_and_reason_trailer(self):
+        table = parse_suppressions(
+            "x = 1  # repro: allow[D101, S302] -- hot path, order-free\n"
+            "y = 2  # repro: allow\n"
+            "z = 3  # unrelated comment\n"
+        )
+        assert table == {1: {"D101", "S302"}, 2: {"*"}}
+
+
+def _finding(rule="D101", path="repro/a.py", line=3, message="boom"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            _finding(),
+            _finding(rule="S301", path="repro/stats.py", message="dropped"),
+            _finding(),  # duplicate key -> count 2
+        ]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        loaded = load_baseline(path)
+        new, old = split_by_baseline(findings, loaded)
+        assert new == []
+        assert len(old) == 3
+        assert stale_entries(findings, loaded) == {}
+
+    def test_line_shifts_do_not_resurface(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(line=3)])
+        new, old = split_by_baseline([_finding(line=30)], load_baseline(path))
+        assert new == []
+        assert len(old) == 1
+
+    def test_new_findings_surface_beyond_baselined_count(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        new, old = split_by_baseline(
+            [_finding(line=3), _finding(line=9)], load_baseline(path)
+        )
+        assert len(old) == 1
+        assert len(new) == 1
+
+    def test_stale_entries_reported_when_debt_paid(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(), _finding(rule="D104")])
+        stale = stale_entries([_finding()], load_baseline(path))
+        assert list(stale) == [("D104", "repro/a.py", "boom")]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_format_is_stable_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"] == [
+            {"rule": "D101", "path": "repro/a.py", "message": "boom",
+             "count": 1}
+        ]

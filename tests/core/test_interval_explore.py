@@ -1,7 +1,5 @@
 """Figure 4 algorithm: exploration, phase detection, interval doubling."""
 
-import pytest
-
 from repro.core.interval_explore import ExploreConfig, IntervalExploreController
 
 from .fakes import FakeProcessor, feed_interval

@@ -1,7 +1,5 @@
 """Reporting helpers."""
 
-import math
-
 import pytest
 
 from repro.experiments.reporting import format_table, geomean, ipc_table

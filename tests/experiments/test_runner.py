@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.config import default_config
 from repro.core import StaticController
-from repro.experiments.runner import RunResult, TraceCache, run_trace, scaled_length
+from repro.experiments.runner import TraceCache, run_trace, scaled_length
 from repro.workloads.profiles import get_profile
 
 

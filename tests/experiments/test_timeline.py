@@ -1,12 +1,9 @@
 """Reconfiguration timeline recorder."""
 
-import pytest
-
 from repro import (
     DistantILPController,
     NoExploreConfig,
     StaticController,
-    default_config,
 )
 from repro.experiments.timeline import Reconfiguration, TimelineRecorder, _glyph
 from repro.pipeline.processor import ClusteredProcessor

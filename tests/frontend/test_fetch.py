@@ -1,7 +1,5 @@
 """Fetch unit: width, basic-block limits, mispredict stalls, queue timing."""
 
-import pytest
-
 from repro.config import FrontEndConfig
 from repro.stats import SimStats
 from repro.frontend.fetch import FetchUnit

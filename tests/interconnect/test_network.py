@@ -1,7 +1,5 @@
 """Contention-aware network model."""
 
-import pytest
-
 from repro.config import InterconnectConfig
 from repro.interconnect.network import Network, build_topology
 from repro.interconnect.grid import GridTopology

@@ -12,7 +12,7 @@ import pytest
 from repro.config import default_config
 from repro.core import StaticController
 from repro.errors import SimulationError
-from repro.pipeline.invariants import InvariantChecker, invariants_enabled
+from repro.pipeline.invariants import invariants_enabled
 from repro.pipeline.processor import ClusteredProcessor
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import decentralized_config, default_config, monolithic_config
+from repro.config import decentralized_config, default_config
 from repro.core import StaticController
 from repro.errors import SimulationError
 from repro.pipeline.processor import ClusteredProcessor, simulate

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.api import SimResult, SimSpec, simulate, sweep
-from repro.config import default_config
 from repro.core import StaticController
 from repro.errors import ConfigError
 from repro.experiments.runner import run_trace

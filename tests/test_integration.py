@@ -1,8 +1,6 @@
 """Cross-module integration: controllers on live pipelines, the paper's
 qualitative claims at test scale."""
 
-import pytest
-
 from repro import (
     DistantILPController,
     ExploreConfig,
