@@ -68,6 +68,10 @@ _EXPORTS = {
     "ReproError": ".errors",
     "SimulationError": ".errors",
     "WorkloadError": ".errors",
+    "JsonlTracer": ".observability",
+    "MemoryTracer": ".observability",
+    "TraceSession": ".observability",
+    "Tracer": ".observability",
     "ScalingCurve": ".partition",
     "best_partition": ".partition",
     "measure_scaling": ".partition",

@@ -40,6 +40,9 @@ LAYER_RANKS: Dict[str, int] = {
     "stats": 1,
     "config": 1,
     "faults": 1,
+    # tracing sinks/exporters: a leaf the simulator stack emits into
+    # (pipeline and core both import it, so it must sit below rank 5)
+    "observability": 1,
     "workloads": 2,
     "energy": 2,
     "frontend": 3,

@@ -111,9 +111,11 @@ class MergeCoverageRule(Rule):
 _SPEC_CALLS = {
     "repro.api.SimSpec": frozenset(),
     "repro.SimSpec": frozenset(),
-    # the facade still accepts (deprecated) config=/controller= keywords
-    "repro.api.simulate": frozenset({"config", "controller"}),
-    "repro.simulate": frozenset({"config", "controller"}),
+    # the facade still accepts (deprecated) config=/controller= keywords;
+    # trace= (a Tracer or an export directory) is simulate-only, not a
+    # SimSpec field (tracers are stateful and unpicklable by design)
+    "repro.api.simulate": frozenset({"config", "controller", "trace"}),
+    "repro.simulate": frozenset({"config", "controller", "trace"}),
 }
 
 _SWEEP_CALLS = ("repro.api.sweep", "repro.sweep")

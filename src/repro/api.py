@@ -222,10 +222,30 @@ def _to_sim_result(run_result) -> SimResult:
 # simulate
 
 
+def _resolve_tracer(trace):
+    """``trace=`` keyword -> ``(tracer, session_to_close)``.
+
+    A string/path names an export directory: a
+    :class:`~repro.observability.TraceSession` is created and closed (files
+    written) when the run finishes.  An explicit
+    :class:`~repro.observability.Tracer` is used as-is and left open — the
+    caller owns its lifecycle.
+    """
+    if trace is None:
+        return None, None
+    from .observability import Tracer, TraceSession
+
+    if isinstance(trace, Tracer):
+        return trace, None
+    session = TraceSession(trace)
+    return session, session
+
+
 def simulate(
     workload,
     config: Optional[ProcessorConfig] = None,
     controller: Optional[object] = None,
+    trace=None,
     **kwargs,
 ) -> Union[SimResult, SimStats]:
     """Run one simulation and return its :class:`SimResult`.
@@ -237,6 +257,13 @@ def simulate(
         simulate("swim", trace_length=20_000, reconfig_policy="explore")
         simulate(my_trace, processor=my_config, warmup=2_000)
         simulate(SimSpec(workload="gzip", topology="grid"))
+
+    ``trace`` (not a :class:`SimSpec` field — tracers are stateful) turns
+    on observability: pass a directory path to get ``events.jsonl``,
+    ``timeline.csv``, and a Perfetto-loadable ``trace.json`` written there,
+    or a :class:`repro.observability.Tracer` instance to sink events
+    yourself.  Tracing is passive — the returned result is bit-identical
+    to an untraced run (see ``docs/OBSERVABILITY.md``).
 
     The pre-facade spelling ``simulate(trace, config, controller)`` (a
     positional :class:`~repro.config.ProcessorConfig` and controller
@@ -255,13 +282,19 @@ def simulate(
         )
         from .pipeline.processor import ClusteredProcessor
 
+        tracer, session = _resolve_tracer(trace)
         processor = ClusteredProcessor(
             workload,
             config if config is not None else default_config(),
             controller,
             kwargs.pop("steering", None),
+            tracer=tracer,
         )
-        stats = processor.run(kwargs.pop("max_instructions", None))
+        try:
+            stats = processor.run(kwargs.pop("max_instructions", None))
+        finally:
+            if session is not None:
+                session.close()
         if kwargs:
             raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
         return stats
@@ -275,9 +308,9 @@ def simulate(
     from .workloads.generator import generate_trace
 
     if isinstance(spec.workload, Trace):
-        trace = spec.workload
+        workload_trace = spec.workload
     else:
-        trace = generate_trace(
+        workload_trace = generate_trace(
             get_profile(spec.workload),
             spec.trace_length or scaled_length(),
             spec.seed,
@@ -288,15 +321,21 @@ def simulate(
         from .experiments.sweep import _build_steering
 
         steering_factory = _build_steering(spec.steering)
-    result = run_trace(
-        trace,
-        spec.processor_config(),
-        controller_obj,
-        warmup=spec.warmup,
-        label=spec.resolved_label(),
-        steering=steering_factory,
-        max_instructions=spec.max_instructions,
-    )
+    tracer, session = _resolve_tracer(trace)
+    try:
+        result = run_trace(
+            workload_trace,
+            spec.processor_config(),
+            controller_obj,
+            warmup=spec.warmup,
+            label=spec.resolved_label(),
+            steering=steering_factory,
+            max_instructions=spec.max_instructions,
+            tracer=tracer,
+        )
+    finally:
+        if session is not None:
+            session.close()
     return _to_sim_result(result)
 
 
@@ -357,6 +396,7 @@ def sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress=None,
+    trace=None,
 ) -> SweepResult:
     """Fan a matrix of simulations out across worker processes.
 
@@ -366,6 +406,12 @@ def sweep(
     engine's (see ``docs/SWEEPS.md``); this facade only translates the
     vocabulary.  Failures come back as structured records — call
     :meth:`SweepResult.require_ok` to raise instead.
+
+    ``trace`` names a directory to receive the sweep's observability
+    artifacts: ``sweep_metrics.json`` (the extended metrics snapshot with
+    per-spec queue/run timings) and ``sweep_trace.json`` (Chrome
+    trace-event spans of every executed run, lane-packed to show worker
+    utilization; open in Perfetto).
     """
     from .experiments.sweep import RunSpec, SweepRunner
 
@@ -389,6 +435,7 @@ def sweep(
         journal=journal,
         resume=resume,
         progress=progress,
+        trace_dir=trace,
     )
     records = runner.run(run_specs)
     return SweepResult(records=records, metrics=runner.metrics)

@@ -5,8 +5,14 @@ Examples::
     python -m repro list                          # the nine benchmarks
     python -m repro run gzip --clusters 4         # one static simulation
     python -m repro run swim --controller explore # dynamic reconfiguration
+    python -m repro run swim --controller explore --trace out/  # + trace
     python -m repro figure3 --length 20000        # regenerate an exhibit
+    python -m repro figure5 --jobs 4 --resume     # restart a killed sweep
     python -m repro table4 --benchmarks swim,crafty
+
+The static-analysis pass is a separate entry point (it must work even on
+an import-broken tree): ``python -m repro.analysis`` — see
+``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -60,10 +66,29 @@ def _parse_benchmarks(spec: Optional[str]) -> Sequence[str]:
     return names
 
 
+_EPILOG = """\
+sweep execution flags (every exhibit command):
+  --jobs N --no-cache --timeout SECONDS      parallelism and caching
+  --metrics-json PATH                        sweep metrics snapshot as JSON
+  --journal PATH / --resume                  checkpoint + restart a killed sweep
+  --trace DIR                                per-run timings + Perfetto trace
+
+other tools:
+  python -m repro.analysis [PATH ...]        static-analysis pass: determinism
+                                             (D1xx), layering (L2xx), and
+                                             stats/vocabulary (S3xx) rules
+
+docs: docs/SWEEPS.md (sweep engine), docs/OBSERVABILITY.md (tracing),
+docs/ANALYSIS.md (linter), docs/ARCHITECTURE.md (package map)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Clustered-processor reconfiguration reproduction (ISCA 2003)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -82,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="static",
     )
     run.add_argument("--warmup", type=int, default=4_000)
+    run.add_argument("--trace", default=None, metavar="DIR",
+                     help="write structured trace output (events.jsonl, "
+                          "timeline.csv, Perfetto trace.json) to DIR")
 
     for name in _EXHIBITS:
         ex = sub.add_parser(name, help=f"regenerate {name}")
@@ -107,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
         ex.add_argument("--resume", action="store_true",
                         help="skip runs already completed in the journal "
                              "(restart a killed sweep where it died)")
+        ex.add_argument("--trace", default=None, metavar="DIR",
+                        help="write per-run sweep timings (sweep_metrics.json)"
+                             " and a Perfetto worker-utilization trace "
+                             "(sweep_trace.json) to DIR")
     return parser
 
 
@@ -136,6 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology=args.machine,
         reconfig_policy=_run_policy(args.machine, args.controller, args.clusters),
         warmup=args.warmup,
+        trace=args.trace,
     )
     s = result.stats
     print(f"{args.benchmark} on {args.machine} "
@@ -147,6 +180,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  L1 hit rate        {s.l1_hit_rate:.1%}")
     print(f"  avg active clstrs  {result.avg_active_clusters:.1f}")
     print(f"  reconfigurations   {result.reconfigurations}")
+    if args.trace:
+        print(f"[trace written to {args.trace}]", file=sys.stderr)
     return 0
 
 
@@ -167,6 +202,7 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
         timeout=args.timeout,
         journal=_journal_path(name, args),
         resume=args.resume,
+        trace_dir=args.trace,
     )
     try:
         results = generate(

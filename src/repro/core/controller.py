@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..observability.tracer import NULL_TRACER, Tracer
 from ..stats import IntervalTracker
 from ..workloads.instruction import Instr
 
@@ -29,9 +30,29 @@ class ReconfigurationController:
 
     def __init__(self) -> None:
         self.processor: Optional["ClusteredProcessor"] = None
+        #: picked up from the processor at attach; stays the no-op default
+        #: under bare test harnesses that attach mock processors
+        self.tracer: Tracer = NULL_TRACER
 
     def attach(self, processor: "ClusteredProcessor") -> None:
         self.processor = processor
+        self.tracer = getattr(processor, "tracer", NULL_TRACER)
+
+    def _trace(self, kind: str, **fields: object) -> None:
+        """Emit one event stamped with the current simulated position.
+
+        Call sites still guard on ``self.tracer.enabled`` first so the
+        keyword-argument dict is never built for a disabled tracer.
+        """
+        tracer = self.tracer
+        if tracer.enabled:
+            processor = self.processor
+            tracer.emit(
+                kind,
+                cycle=processor.cycle,
+                committed=processor.stats.committed,
+                **fields,
+            )
 
     def on_commit(self, instr: Instr, cycle: int, distant: bool) -> None:
         """Called once per committed instruction."""
@@ -92,6 +113,16 @@ class IntervalController(ReconfigurationController):
             if self.invocation_overhead:
                 self.processor.stall_dispatch_for(self.invocation_overhead)
             window = self._tracker.since_last()
+            if self.tracer.enabled:
+                self._trace(
+                    "interval",
+                    controller=type(self).__name__,
+                    interval_length=self.interval_length,
+                    ipc=window.ipc,
+                    branches=window.branches,
+                    memrefs=window.memrefs,
+                    distant=window.distant_commits,
+                )
             self.on_interval(window, cycle)
 
     def on_interval(self, window, cycle: int) -> None:

@@ -73,16 +73,20 @@ class ReconfigTable:
 
     def add_sample(
         self, pc: int, distant_count: int, config: FineGrainConfig
-    ) -> None:
-        """Record one distant-ILP sample; on the Mth, compute the advice."""
+    ) -> Optional[int]:
+        """Record one distant-ILP sample; on the Mth, compute the advice.
+
+        Returns the advised configuration on the sample that brings the
+        entry live (so callers can trace the training event), else None.
+        """
         entry = self._entries.get(pc)
         if entry is None:
             if len(self._entries) >= self.max_entries:
-                return
+                return None
             entry = _TableEntry()
             self._entries[pc] = entry
         if entry.advised is not None:
-            return  # paper: after M samples, stop updating
+            return None  # paper: after M samples, stop updating
         entry.samples.append(distant_count)
         if len(entry.samples) >= config.samples_needed:
             mean = sum(entry.samples) / len(entry.samples)
@@ -92,6 +96,8 @@ class ReconfigTable:
                 else config.small_config
             )
             entry.samples = []
+            return entry.advised
+        return None
 
     def flush(self) -> None:
         self._entries.clear()
@@ -111,6 +117,9 @@ class FineGrainController(ReconfigurationController):
         self._since_flush = 0
         self.table_hits = 0
         self.table_misses = 0
+        # hit/miss totals at the previous flush, for per-period trace deltas
+        self._hits_at_flush = 0
+        self._misses_at_flush = 0
 
     def attach(self, processor) -> None:
         super().attach(processor)
@@ -129,10 +138,21 @@ class FineGrainController(ReconfigurationController):
         sample = self.window.push(self._tracked_pc(instr), distant)
         if sample is not None:
             pc, count = sample
-            self.table.add_sample(pc, count, self.algo)
+            advised = self.table.add_sample(pc, count, self.algo)
+            if advised is not None and self.tracer.enabled:
+                self._trace("table_train", pc=pc, advised=advised)
         self._since_flush += 1
         if self._since_flush >= self.algo.flush_period:
             self._since_flush = 0
+            if self.tracer.enabled:
+                self._trace(
+                    "table_flush",
+                    entries=len(self.table),
+                    hits=self.table_hits - self._hits_at_flush,
+                    misses=self.table_misses - self._misses_at_flush,
+                )
+            self._hits_at_flush = self.table_hits
+            self._misses_at_flush = self.table_misses
             self.table.flush()
 
     # ------------------------------------------------------------------
@@ -148,6 +168,13 @@ class FineGrainController(ReconfigurationController):
         if not self._should_attempt(instr):
             return
         advised = self.table.lookup(instr.pc)
+        if self.tracer.enabled:
+            self._trace(
+                "table_lookup",
+                pc=instr.pc,
+                hit=advised is not None,
+                advised=advised,
+            )
         if advised is None:
             self.table_misses += 1
             self.processor.set_active_clusters(self._large, reason="measure")

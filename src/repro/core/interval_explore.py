@@ -22,7 +22,13 @@ from typing import Dict, Optional, Tuple
 
 from ..stats import IntervalWindow
 from .controller import IntervalController
-from .phase import PhaseDetectConfig, PhaseReference, compare_to_reference
+from .phase import (
+    PhaseDetectConfig,
+    PhaseReference,
+    PhaseSignals,
+    compare_to_reference,
+    signal_fields,
+)
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,8 @@ class IntervalExploreController(IntervalController):
                 or abs(window[1] - self._macro_ref[1]) > threshold
             ):
                 self.macrophase_changes += 1
+                if self.tracer.enabled:
+                    self._trace("macrophase", count=self.macrophase_changes)
                 self._reinitialize()
         self._macro_ref = window
 
@@ -167,6 +175,8 @@ class IntervalExploreController(IntervalController):
         self._explored = {}
         self._explore_pos = 0
         self._state = self._EXPLORING
+        if self.tracer.enabled:
+            self._trace("explore_start", candidates=list(self._candidates))
         self.processor.set_active_clusters(self._candidates[0], reason="explore")
 
     def _finish_exploration(self, cycle: int) -> None:
@@ -175,17 +185,34 @@ class IntervalExploreController(IntervalController):
         self._reference.ipc = self._explored[best]
         self._num_ipc_variations = 0.0
         self.choice_counts[best] = self.choice_counts.get(best, 0) + 1
+        if self.tracer.enabled:
+            self._trace(
+                "explore_decision",
+                chosen=best,
+                explored=[[c, ipc] for c, ipc in sorted(self._explored.items())],
+            )
         self.processor.set_active_clusters(best, reason="chosen")
 
-    def _phase_change(self, cycle: int) -> None:
+    def _phase_change(
+        self, cycle: int, signals: Optional[PhaseSignals] = None
+    ) -> None:
         self.phase_changes += 1
         self._state = self._UNSTABLE
         self._reference = None
         self._num_ipc_variations = 0.0
         self._instability += self.algo.instability_increment
+        if self.tracer.enabled:
+            self._trace(
+                "phase_change",
+                instability=self._instability,
+                interval_length=self.interval_length,
+                **signal_fields(signals),
+            )
         if self._instability > self.algo.instability_threshold:
             self.interval_length *= 2
             self._instability = 0.0
+            if self.tracer.enabled:
+                self._trace("interval_grow", interval_length=self.interval_length)
             if self.interval_length > self.algo.max_interval:
                 self._discontinue(cycle)
 
@@ -196,6 +223,8 @@ class IntervalExploreController(IntervalController):
             popular = max(self.choice_counts, key=lambda c: self.choice_counts[c])
         else:
             popular = self._candidates[-1]
+        if self.tracer.enabled:
+            self._trace("discontinue", locked=popular)
         self.processor.set_active_clusters(popular, reason="discontinued")
 
     # ------------------------------------------------------------------
@@ -213,9 +242,15 @@ class IntervalExploreController(IntervalController):
 
         if self._state == self._EXPLORING:
             if signals.counts_changed:
-                self._phase_change(cycle)
+                self._phase_change(cycle, signals)
                 return
             self._explored[self.processor.active_clusters] = window.ipc
+            if self.tracer.enabled:
+                self._trace(
+                    "explore_sample",
+                    clusters=self.processor.active_clusters,
+                    ipc=window.ipc,
+                )
             self._explore_pos += 1
             if self._explore_pos >= len(self._candidates):
                 self._finish_exploration(cycle)
@@ -230,7 +265,7 @@ class IntervalExploreController(IntervalController):
             signals.ipc
             and self._num_ipc_variations > self.algo.ipc_variation_threshold
         ):
-            self._phase_change(cycle)
+            self._phase_change(cycle, signals)
         elif signals.ipc:
             self._num_ipc_variations += 2.0
         else:

@@ -17,7 +17,12 @@ from typing import Optional
 
 from ..stats import IntervalWindow
 from .controller import IntervalController
-from .phase import PhaseDetectConfig, PhaseReference, compare_to_reference
+from .phase import (
+    PhaseDetectConfig,
+    PhaseReference,
+    compare_to_reference,
+    signal_fields,
+)
 
 
 @dataclass(frozen=True)
@@ -85,12 +90,16 @@ class DistantILPController(IntervalController):
         self._large = min(self.algo.large_config, processor.config.num_clusters)
         self._small = min(self.algo.small_config, self._large)
         # measure with the full machine first
+        if self.tracer.enabled:
+            self._trace("measure_start", settle=self._settle_left)
         processor.set_active_clusters(self._large, reason="measure")
 
     def _enter_measurement(self) -> None:
         self._state = self._MEASURING
         self._settle_left = self.algo.settle_intervals
         self._reference = None
+        if self.tracer.enabled:
+            self._trace("measure_start", settle=self._settle_left)
         self.processor.set_active_clusters(self._large, reason="measure")
 
     def on_interval(self, window: IntervalWindow, cycle: int) -> None:
@@ -106,6 +115,13 @@ class DistantILPController(IntervalController):
                 branches=window.branches, memrefs=window.memrefs, ipc=None
             )
             self._state = self._SETTLED
+            if self.tracer.enabled:
+                self._trace(
+                    "distant_decision",
+                    distant=window.distant_commits,
+                    threshold=self.algo.distant_threshold,
+                    chosen=chosen,
+                )
             self.processor.set_active_clusters(chosen, reason="distant-ilp")
             return
 
@@ -118,4 +134,11 @@ class DistantILPController(IntervalController):
             return
         if signals.counts_changed or signals.ipc:
             self.phase_changes += 1
+            if self.tracer.enabled:
+                self._trace(
+                    "phase_change",
+                    instability=0.0,
+                    interval_length=self.interval_length,
+                    **signal_fields(signals),
+                )
             self._enter_measurement()

@@ -12,7 +12,7 @@ interval_length/100).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..stats import IntervalWindow
 
@@ -66,3 +66,20 @@ def compare_to_reference(
             abs(window.ipc - reference.ipc) / reference.ipc > detect.ipc_tolerance
         )
     return PhaseSignals(memrefs=mem_changed, branches=br_changed, ipc=ipc_changed)
+
+
+def signal_fields(signals: Optional[PhaseSignals]) -> Dict[str, bool]:
+    """Flatten :class:`PhaseSignals` into ``phase_change`` event fields.
+
+    The controllers attach these to their trace events (see
+    :mod:`repro.observability.events`) so a trace records *which* metric
+    tripped the detector.  ``None`` (no comparison was made) reads as
+    nothing-changed.
+    """
+    if signals is None:
+        return {"branches_changed": False, "memrefs_changed": False, "ipc_changed": False}
+    return {
+        "branches_changed": signals.branches,
+        "memrefs_changed": signals.memrefs,
+        "ipc_changed": signals.ipc,
+    }

@@ -67,6 +67,7 @@ def run_trace(
     label: str = "",
     steering: Optional[Callable[[object], object]] = None,
     max_instructions: Optional[int] = None,
+    tracer: Optional[object] = None,
 ) -> RunResult:
     """Simulate a trace and report post-warmup steady-state metrics.
 
@@ -77,7 +78,9 @@ def run_trace(
     default producer-preference one (used by the steering ablation).
     ``max_instructions`` bounds the run in *committed* instructions
     (commit-bounded: see :meth:`ClusteredProcessor.run`), counted from the
-    start of the trace, warmup included.
+    start of the trace, warmup included.  ``tracer`` (a
+    :class:`repro.observability.Tracer`) observes the run passively; the
+    statistics are bit-identical with or without one.
     """
     if args:
         # pre-facade spelling: run_trace(trace, config, controller, warmup, label)
@@ -97,7 +100,7 @@ def run_trace(
         warmup = defaults["warmup"]
         label = defaults["label"]
         steering = defaults["steering"]
-    processor = ClusteredProcessor(trace, config, controller)
+    processor = ClusteredProcessor(trace, config, controller, tracer=tracer)
     if steering is not None:
         processor.steering = steering(processor.clusters)
     warmup = min(warmup, max(0, len(trace) - 1000))

@@ -535,6 +535,11 @@ class SweepMetrics:
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    #: one entry per completed spec (input order of completion): profile,
+    #: label, status, attempts, cache/journal provenance, and wall-clock
+    #: positions within the sweep (``end_seconds`` since sweep start,
+    #: ``run_seconds`` executing, ``queue_seconds`` waiting for a worker)
+    spec_timings: List[Dict] = field(default_factory=list)
 
     def latency_percentile(self, pct: float) -> float:
         if not self.latencies:
@@ -563,7 +568,7 @@ class SweepMetrics:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         """JSON-serializable summary (CI uploads this as an artifact)."""
         return {
             "jobs": self.jobs,
@@ -583,6 +588,7 @@ class SweepMetrics:
             "worker_utilization": round(self.worker_utilization, 4),
             "p50_run_seconds": round(self.p50_seconds, 4),
             "p95_run_seconds": round(self.p95_seconds, 4),
+            "specs": list(self.spec_timings),
         }
 
 
@@ -642,6 +648,13 @@ class SweepRunner:
         Optional callable invoked after every completed run with a dict
         (``profile``, ``label``, ``status``, ``from_cache``, ``duration``,
         ``completed``, ``total``).
+    trace_dir:
+        Directory receiving the sweep's observability artifacts after the
+        run: ``sweep_metrics.json`` (the :meth:`SweepMetrics.snapshot`
+        with per-spec timings) and ``sweep_trace.json`` (Chrome
+        trace-event spans of every executed run, lane-packed — open in
+        Perfetto to see worker utilization).  Written even when the sweep
+        is interrupted, so a drained sweep can still be inspected.
 
     While ``run()`` executes on the main thread, SIGINT/SIGTERM request a
     *drain*: no new work starts, in-flight runs finish and are journaled,
@@ -661,6 +674,7 @@ class SweepRunner:
         resume: bool = False,
         poison_threshold: int = 3,
         progress: Optional[Callable[[Dict], None]] = None,
+        trace_dir: Optional[os.PathLike] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.use_cache = use_cache
@@ -678,9 +692,13 @@ class SweepRunner:
         self.resume = resume
         self.poison_threshold = max(1, int(poison_threshold))
         self.progress = progress
+        self.trace_dir = trace_dir
         self.metrics = SweepMetrics(jobs=self.jobs)
         self._drain_requested = False
         self._journaled_keys: set = set()
+        # wall-clock bookkeeping for per-spec timings (relative seconds)
+        self._clock0 = time.perf_counter()
+        self._submitted_at: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -695,6 +713,7 @@ class SweepRunner:
         self.metrics.submitted += len(specs)
         records: List[Optional[RunRecord]] = [None] * len(specs)
         self._drain_requested = False
+        self._submitted_at = {}
 
         journaled: Dict[str, RunRecord] = {}
         if self.journal is not None and self.resume:
@@ -730,6 +749,7 @@ class SweepRunner:
                     self._run_parallel(pending, records)
 
         self.metrics.wall_seconds += time.perf_counter() - start
+        self._export_trace()
         done_records = [r for r in records if r is not None]
         if self._drain_requested:
             raise SweepInterrupted(
@@ -789,7 +809,7 @@ class SweepRunner:
             except Exception:
                 pass  # a read-only cache dir must not kill the sweep
         self._journal_append(record)
-        self._note_done(record)
+        self._note_done(record, submitted_at=self._submitted_at.pop(index, None))
 
     def _journal_append(self, record: RunRecord) -> None:
         if self.journal is None:
@@ -805,7 +825,9 @@ class SweepRunner:
             # a read-only journal dir degrades resume, not the sweep
             self.metrics.journal_errors += 1
 
-    def _note_done(self, record: RunRecord) -> None:
+    def _note_done(
+        self, record: RunRecord, submitted_at: Optional[float] = None
+    ) -> None:
         m = self.metrics
         m.completed += 1
         if record.status == "failed":
@@ -817,6 +839,25 @@ class SweepRunner:
         if not record.from_cache and not record.from_journal:
             m.busy_seconds += record.duration
             m.latencies.append(record.duration)
+        end = time.perf_counter() - self._clock0
+        # queue time = time between pool submission and completion that was
+        # not spent executing (zero for serial/cache/journal completions)
+        queue = 0.0
+        if submitted_at is not None:
+            queue = max(0.0, end - submitted_at - record.duration)
+        m.spec_timings.append(
+            {
+                "profile": record.spec.profile,
+                "label": record.spec.label or record.spec.controller.kind,
+                "status": record.status,
+                "attempts": record.attempts,
+                "from_cache": record.from_cache,
+                "from_journal": record.from_journal,
+                "run_seconds": round(record.duration, 6),
+                "queue_seconds": round(queue, 6),
+                "end_seconds": round(end, 6),
+            }
+        )
         if self.progress:
             self.progress(
                 {
@@ -829,6 +870,40 @@ class SweepRunner:
                     "total": m.submitted,
                 }
             )
+
+    def _export_trace(self) -> None:
+        """Write ``sweep_metrics.json`` + ``sweep_trace.json`` to trace_dir.
+
+        The trace holds one Chrome-trace span per *executed* run (cache and
+        journal hits took no worker time), lane-packed by wall-clock overlap
+        so Perfetto shows worker-pool utilization directly.
+        """
+        if self.trace_dir is None:
+            return
+        import json
+
+        from ..observability.exporters import spans_chrome_trace
+
+        directory = pathlib.Path(self.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "sweep_metrics.json", "w", encoding="utf-8") as fh:
+            json.dump(self.metrics.snapshot(), fh, indent=2)
+        spans = [
+            {
+                "name": f"{timing['profile']}/{timing['label']}",
+                "start": max(0.0, timing["end_seconds"] - timing["run_seconds"]),
+                "end": timing["end_seconds"],
+                "args": {
+                    "status": timing["status"],
+                    "attempts": timing["attempts"],
+                    "queue_seconds": timing["queue_seconds"],
+                },
+            }
+            for timing in self.metrics.spec_timings
+            if not timing["from_cache"] and not timing["from_journal"]
+        ]
+        with open(directory / "sweep_trace.json", "w", encoding="utf-8") as fh:
+            json.dump(spans_chrome_trace(spans), fh)
 
     def _backoff(self, attempt: int) -> None:
         """Exponential backoff with full jitter before retry ``attempt+1``."""
@@ -889,6 +964,9 @@ class SweepRunner:
                     else:
                         return
                     try:
+                        self._submitted_at[index] = (
+                            time.perf_counter() - self._clock0
+                        )
                         futures[pool.submit(execute_spec, spec, self.timeout)] = (
                             index,
                             spec,

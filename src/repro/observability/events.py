@@ -1,0 +1,96 @@
+"""The typed event schema.
+
+Every event is a flat JSON-serializable dict.  Three fields are universal:
+
+``kind``
+    The event type (a key of :data:`EVENT_FIELDS`).
+``cycle`` / ``committed``
+    The simulated-time position: the processor's cycle counter and
+    cumulative committed-instruction count at emission.  Events carry no
+    wall-clock timestamps — a trace is a pure function of the run's inputs,
+    so two runs with the same seed produce byte-identical traces.
+
+:data:`EVENT_FIELDS` maps each kind to the exact tuple of additional
+fields it carries, in emission order.  The schema is pinned by a
+golden-file test (``tests/observability/test_schema_golden.py``); extending
+it means regenerating the golden and documenting the new fields in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+#: fields present on every event, in order, after ``kind``
+BASE_FIELDS: Tuple[str, ...] = ("cycle", "committed")
+
+#: event kind -> additional fields (beyond ``kind`` + BASE_FIELDS), in order
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # -- pipeline/processor.py ------------------------------------------
+    # one per run, at construction
+    "run_start": ("workload", "instructions", "clusters"),
+    # periodic timeline sample (every ``tracer.sample_period`` cycles):
+    # IPC over the elapsed window, active cluster count, ROB occupancy
+    "sample": ("ipc", "active_clusters", "rob"),
+    # every *effective* active-cluster change (no-op requests are absorbed
+    # by the processor and emit nothing)
+    "reconfig": ("before", "after", "reason"),
+    # -- core/controller.py ---------------------------------------------
+    # every interval boundary of an interval-based controller
+    "interval": (
+        "controller",
+        "interval_length",
+        "ipc",
+        "branches",
+        "memrefs",
+        "distant",
+    ),
+    # -- core/interval_explore.py (Figure 4) ----------------------------
+    "explore_start": ("candidates",),
+    "explore_sample": ("clusters", "ipc"),
+    # ``explored`` is ``[[clusters, ipc], ...]`` sorted by cluster count
+    "explore_decision": ("chosen", "explored"),
+    "phase_change": (
+        "instability",
+        "interval_length",
+        "branches_changed",
+        "memrefs_changed",
+        "ipc_changed",
+    ),
+    # instability exceeded its threshold: the interval length doubled
+    "interval_grow": ("interval_length",),
+    # Figure 4's discontinue_algorithm: locked the most popular config
+    "discontinue": ("locked",),
+    "macrophase": ("count",),
+    # -- core/interval_noexplore.py (Section 4.3) -----------------------
+    "measure_start": ("settle",),
+    "distant_decision": ("distant", "threshold", "chosen"),
+    # -- core/finegrain.py (Section 4.4) --------------------------------
+    # a table entry accumulated its Mth sample and went live
+    "table_train": ("pc", "advised"),
+    # a reconfiguration-point branch consulted the table (``advised`` is
+    # null on a miss, which falls back to the large configuration)
+    "table_lookup": ("pc", "hit", "advised"),
+    "table_flush": ("entries", "hits", "misses"),
+}
+
+
+def validate_event(event: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``event`` matches the schema exactly.
+
+    Checks the kind is known and the fields are precisely
+    ``("kind",) + BASE_FIELDS + EVENT_FIELDS[kind]`` — no extras, nothing
+    missing.  Used by the sink tests and available to downstream consumers.
+    """
+    kind = event.get("kind")
+    if not isinstance(kind, str) or kind not in EVENT_FIELDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    expected = ("kind",) + BASE_FIELDS + EVENT_FIELDS[kind]
+    actual = tuple(event.keys())
+    if sorted(actual) != sorted(expected):
+        missing = set(expected) - set(actual)
+        extra = set(actual) - set(expected)
+        raise ValueError(
+            f"event {kind!r} fields do not match schema: "
+            f"missing {sorted(missing)}, unexpected {sorted(extra)}"
+        )

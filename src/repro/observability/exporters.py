@@ -1,0 +1,208 @@
+"""Exporters: JSONL, CSV timeline, and Chrome trace-event format.
+
+All exporters are pure functions over a recorded event list (dicts in the
+:mod:`repro.observability.events` schema), so any sink that buffers events
+— :class:`~repro.observability.tracer.MemoryTracer`, a parsed JSONL file —
+can be converted after the fact.
+
+The Chrome trace-event output follows the ``traceEvents`` JSON array
+format understood by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Timestamps are microseconds; we map one simulated
+cycle to one microsecond, so the viewer's time axis reads directly in
+cycles.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+_PathLike = Union[str, os.PathLike]
+
+#: timeline.csv column order (the fields of a ``sample`` event)
+TIMELINE_COLUMNS = ("cycle", "committed", "ipc", "active_clusters", "rob")
+
+#: Chrome-trace thread ids: counters on one track, controller events on another
+_TID_TIMELINE = 0
+_TID_CONTROLLER = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL
+
+
+def to_jsonl_lines(events: Iterable[Mapping[str, object]]) -> List[str]:
+    """One compact JSON object per event, field order preserved."""
+    return [json.dumps(dict(event), separators=(", ", ": ")) for event in events]
+
+
+def write_jsonl(events: Iterable[Mapping[str, object]], path: _PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl_lines(events):
+            fh.write(line)
+            fh.write("\n")
+
+
+def read_jsonl(path: _PathLike) -> List[Dict[str, object]]:
+    """Parse a JSONL event stream back into the recorded list of dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ----------------------------------------------------------------------
+# CSV timeline
+
+
+def write_timeline_csv(
+    events: Iterable[Mapping[str, object]], path: _PathLike
+) -> None:
+    """Flatten the periodic ``sample`` events into a CSV table.
+
+    Columns: ``cycle, committed, ipc, active_clusters, rob`` — ready for
+    pandas/gnuplot without a JSON parser in sight.
+    """
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(TIMELINE_COLUMNS)
+        for event in events:
+            if event.get("kind") == "sample":
+                writer.writerow([event[column] for column in TIMELINE_COLUMNS])
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+
+
+def chrome_trace(events: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Convert a simulator event stream to Chrome trace-event JSON.
+
+    Layout in the viewer:
+
+    * thread ``timeline`` — counter tracks for IPC, active clusters, and
+      ROB occupancy (from ``sample`` and ``reconfig`` events);
+    * thread ``controller`` — an instant marker per controller event, plus
+      one duration slice per exploration sweep (``explore_start`` ..
+      ``explore_decision``/``phase_change``).
+    """
+    trace: List[Dict[str, object]] = [
+        _meta("process_name", {"name": "repro simulation"}),
+        _meta("thread_name", {"name": "timeline"}, tid=_TID_TIMELINE),
+        _meta("thread_name", {"name": "controller"}, tid=_TID_CONTROLLER),
+    ]
+    explore_open = False
+    last_ts = 0
+    for event in events:
+        kind = str(event["kind"])
+        ts = int(event["cycle"])  # type: ignore[arg-type]
+        last_ts = ts if ts > last_ts else last_ts
+        if kind == "sample":
+            trace.append(_counter("IPC", ts, {"ipc": event["ipc"]}))
+            trace.append(
+                _counter("active clusters", ts, {"clusters": event["active_clusters"]})
+            )
+            trace.append(_counter("ROB", ts, {"entries": event["rob"]}))
+            continue
+        if kind == "reconfig":
+            trace.append(_counter("active clusters", ts, {"clusters": event["after"]}))
+        if kind == "explore_start" and not explore_open:
+            explore_open = True
+            trace.append(_span("explore", "B", ts))
+        elif kind in ("explore_decision", "phase_change", "discontinue") and explore_open:
+            explore_open = False
+            trace.append(_span("explore", "E", ts))
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("kind", "cycle")
+        }
+        trace.append(
+            {
+                "name": kind,
+                "ph": "i",
+                "ts": ts,
+                "pid": 0,
+                "tid": _TID_CONTROLLER,
+                "s": "t",
+                "args": args,
+            }
+        )
+    if explore_open:
+        trace.append(_span("explore", "E", last_ts))
+    return {"traceEvents": trace, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    events: Sequence[Mapping[str, object]], path: _PathLike
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh)
+
+
+def _meta(name: str, args: Dict[str, object], tid: int = 0) -> Dict[str, object]:
+    return {"name": name, "ph": "M", "pid": 0, "tid": tid, "args": args}
+
+
+def _counter(name: str, ts: int, args: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "name": name,
+        "ph": "C",
+        "ts": ts,
+        "pid": 0,
+        "tid": _TID_TIMELINE,
+        "args": args,
+    }
+
+
+def _span(name: str, phase: str, ts: int) -> Dict[str, object]:
+    return {"name": name, "ph": phase, "ts": ts, "pid": 0, "tid": _TID_CONTROLLER}
+
+
+# ----------------------------------------------------------------------
+# wall-clock span traces (sweep engine)
+
+
+def spans_chrome_trace(
+    spans: Sequence[Mapping[str, object]], process_name: str = "repro sweep"
+) -> Dict[str, object]:
+    """Chrome trace of wall-clock spans, e.g. a sweep's per-spec runs.
+
+    Each span is ``{"name": str, "start": seconds, "end": seconds}`` plus
+    optional ``"args"``.  Overlapping spans are packed onto lanes
+    (one viewer thread per lane) greedily by start time, which visualizes
+    worker-pool utilization without needing real worker identities.
+    """
+    ordered = sorted(spans, key=lambda span: (span["start"], span["end"]))
+    lane_free_at: List[float] = []
+    trace: List[Dict[str, object]] = [_meta("process_name", {"name": process_name})]
+    for span in ordered:
+        start = float(span["start"])  # type: ignore[arg-type]
+        end = float(span["end"])  # type: ignore[arg-type]
+        lane = -1
+        for index, free_at in enumerate(lane_free_at):
+            if free_at <= start:
+                lane = index
+                break
+        if lane < 0:
+            lane = len(lane_free_at)
+            lane_free_at.append(0.0)
+            trace.append(_meta("thread_name", {"name": f"lane {lane}"}, tid=lane))
+        lane_free_at[lane] = end
+        trace.append(
+            {
+                "name": str(span["name"]),
+                "ph": "X",
+                "ts": int(start * 1e6),
+                "dur": max(1, int((end - start) * 1e6)),
+                "pid": 0,
+                "tid": lane,
+                "args": dict(span.get("args", {})),  # type: ignore[arg-type]
+            }
+        )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}

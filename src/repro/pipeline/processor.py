@@ -29,6 +29,7 @@ from ..errors import SimulationError
 from ..frontend.fetch import FetchUnit
 from ..interconnect.network import Network
 from ..memory.hierarchy import build_memory
+from ..observability.tracer import NULL_TRACER, Tracer
 from ..stats import SimStats
 from ..workloads.instruction import Instr, OpClass, Trace
 from .invariants import InvariantChecker, invariants_enabled
@@ -57,6 +58,7 @@ class ClusteredProcessor:
         steering: Optional[SteeringHeuristic] = None,
         *,
         naive_issue: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -87,6 +89,28 @@ class ClusteredProcessor:
         #: an equivalence reference (see tests/pipeline/test_issue_equivalence)
         self._issue = self._issue_naive if naive_issue else self._issue_event
 
+        #: passive observer (see :mod:`repro.observability`): emission sites
+        #: guard on ``tracer.enabled``, and sampling is driven by a single
+        #: next-sample cycle number so a disabled tracer costs one integer
+        #: compare per cycle.  Set before the controller attaches — the
+        #: controllers pick the tracer up from here.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._last_sample_cycle = 0
+        self._last_sample_committed = 0
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "run_start",
+                cycle=0,
+                committed=0,
+                workload=trace.name,
+                instructions=len(trace),
+                clusters=config.num_clusters,
+            )
+            period = self.tracer.sample_period
+            self._next_sample = period if period > 0 else _NEVER
+        else:
+            self._next_sample = _NEVER
+
         self.controller = controller
         self._controller_wants_dispatch = bool(
             getattr(controller, "needs_dispatch_events", False)
@@ -116,8 +140,18 @@ class ClusteredProcessor:
         n = max(1, min(n, self.config.num_clusters))
         if n == self.active_clusters:
             return
+        before = self.active_clusters
         self.active_clusters = n
         self.stats.reconfigurations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "reconfig",
+                cycle=self.cycle,
+                committed=self.stats.committed,
+                before=before,
+                after=n,
+                reason=reason,
+            )
         stall = self.memory.set_active_clusters(n, self.cycle)
         if stall:
             self._dispatch_stalled_until = max(
@@ -499,8 +533,28 @@ class ClusteredProcessor:
         self._issue()
         self._dispatch()
         self.fetch_unit.fetch(self.cycle)
+        if self.cycle >= self._next_sample:
+            self._emit_sample()
         if self.invariants is not None:
             self.invariants.maybe_check()
+
+    def _emit_sample(self) -> None:
+        """Periodic timeline sample: IPC over the window, occupancy."""
+        cycle = self.cycle
+        committed = self.stats.committed
+        window = cycle - self._last_sample_cycle
+        ipc = (committed - self._last_sample_committed) / window if window else 0.0
+        self.tracer.emit(
+            "sample",
+            cycle=cycle,
+            committed=committed,
+            ipc=ipc,
+            active_clusters=self.active_clusters,
+            rob=len(self.rob),
+        )
+        self._last_sample_cycle = cycle
+        self._last_sample_committed = committed
+        self._next_sample = cycle + self.tracer.sample_period
 
     @property
     def finished(self) -> bool:

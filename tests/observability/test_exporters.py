@@ -1,0 +1,118 @@
+"""Exporters: JSONL round-trips, the CSV timeline, and Chrome traces."""
+
+import csv
+import json
+
+from repro import ClusteredProcessor
+from repro.observability import (
+    MemoryTracer,
+    chrome_trace,
+    read_jsonl,
+    spans_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_timeline_csv,
+)
+from repro.observability.exporters import TIMELINE_COLUMNS
+
+
+def traced_events(trace, config, policy="explore"):
+    from repro.experiments.sweep import ControllerSpec
+
+    controller = getattr(ControllerSpec, policy.replace("-", "_"))().build()
+    tracer = MemoryTracer(sample_period=500)
+    ClusteredProcessor(trace, config, controller, tracer=tracer).run()
+    return tracer.events
+
+
+class TestJsonl:
+    def test_round_trip_preserves_everything(self, gzip_trace, config16,
+                                             tmp_path):
+        events = traced_events(gzip_trace, config16)
+        path = tmp_path / "events.jsonl"
+        write_jsonl(events, path)
+        assert read_jsonl(path) == events
+
+    def test_field_order_preserved_on_disk(self, gzip_trace, config16,
+                                           tmp_path):
+        events = traced_events(gzip_trace, config16)
+        path = tmp_path / "events.jsonl"
+        write_jsonl(events, path)
+        first = path.read_text().splitlines()[0]
+        keys = list(json.loads(first).keys())
+        assert keys[:3] == ["kind", "cycle", "committed"]
+
+
+class TestTimelineCsv:
+    def test_one_row_per_sample(self, gzip_trace, config16, tmp_path):
+        events = traced_events(gzip_trace, config16)
+        path = tmp_path / "timeline.csv"
+        write_timeline_csv(events, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert tuple(rows[0]) == TIMELINE_COLUMNS
+        samples = [e for e in events if e["kind"] == "sample"]
+        assert len(rows) == 1 + len(samples)
+        for row, event in zip(rows[1:], samples):
+            assert int(row[0]) == event["cycle"]
+            assert float(row[2]) == event["ipc"]
+
+
+class TestChromeTrace:
+    def test_structure(self, gzip_trace, config16):
+        events = traced_events(gzip_trace, config16)
+        doc = chrome_trace(events)
+        trace = doc["traceEvents"]
+        assert trace, "trace must not be empty"
+        phases = {e["ph"] for e in trace}
+        assert "M" in phases  # process/thread names
+        assert "C" in phases  # counters
+        assert "i" in phases  # controller instants
+        counters = {e["name"] for e in trace if e["ph"] == "C"}
+        assert {"IPC", "active clusters", "ROB"} <= counters
+        for event in trace:
+            if "ts" in event:
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+
+    def test_explore_spans_balanced(self, phased_trace, config16):
+        events = traced_events(phased_trace, config16)
+        trace = chrome_trace(events)["traceEvents"]
+        begins = sum(1 for e in trace if e.get("ph") == "B")
+        ends = sum(1 for e in trace if e.get("ph") == "E")
+        assert begins == ends
+        assert begins >= 1
+
+    def test_write_is_valid_json(self, gzip_trace, config16, tmp_path):
+        events = traced_events(gzip_trace, config16)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestSpansChromeTrace:
+    def test_lane_packing(self):
+        spans = [
+            {"name": "a", "start": 0.0, "end": 1.0},
+            {"name": "b", "start": 0.5, "end": 1.5},  # overlaps a
+            {"name": "c", "start": 1.2, "end": 2.0},  # fits after a
+        ]
+        trace = spans_chrome_trace(spans)["traceEvents"]
+        slices = {e["name"]: e for e in trace if e["ph"] == "X"}
+        assert slices["a"]["tid"] != slices["b"]["tid"]
+        assert slices["c"]["tid"] == slices["a"]["tid"]
+
+    def test_durations_in_microseconds(self):
+        spans = [{"name": "a", "start": 1.0, "end": 3.5,
+                  "args": {"status": "ok"}}]
+        (slice_,) = [e for e in spans_chrome_trace(spans)["traceEvents"]
+                     if e["ph"] == "X"]
+        assert slice_["ts"] == 1_000_000
+        assert slice_["dur"] == 2_500_000
+        assert slice_["args"] == {"status": "ok"}
+
+    def test_zero_length_span_gets_min_duration(self):
+        spans = [{"name": "a", "start": 1.0, "end": 1.0}]
+        (slice_,) = [e for e in spans_chrome_trace(spans)["traceEvents"]
+                     if e["ph"] == "X"]
+        assert slice_["dur"] == 1

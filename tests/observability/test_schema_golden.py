@@ -1,0 +1,66 @@
+"""Golden-file pin of the trace event schema.
+
+One seeded interval-exploration run has its full event stream committed as
+``golden_events.jsonl``.  If this test fails you have changed either the
+event schema (field names/order), the emission sites, or simulator timing
+— all of which break downstream trace consumers.  If the change is
+intentional, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/observability/test_schema_golden.py
+
+and document new fields in docs/OBSERVABILITY.md.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro import ClusteredProcessor, default_config, generate_trace, get_profile
+from repro.experiments.sweep import ControllerSpec
+from repro.observability import MemoryTracer, validate_event
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_events.jsonl")
+
+#: the pinned run: short but long enough to exercise exploration
+PROFILE = "gzip"
+LENGTH = 8_000
+SEED = 3
+SAMPLE_PERIOD = 500
+
+
+def golden_run():
+    trace = generate_trace(get_profile(PROFILE), LENGTH, seed=SEED)
+    tracer = MemoryTracer(sample_period=SAMPLE_PERIOD)
+    controller = ControllerSpec.explore().build()
+    ClusteredProcessor(trace, default_config(16), controller,
+                       tracer=tracer).run()
+    return tracer.events
+
+
+def test_golden_event_stream():
+    events = golden_run()
+    for event in events:
+        validate_event(event)
+
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.write_text(
+            "".join(json.dumps(e, separators=(", ", ": ")) + "\n"
+                    for e in events)
+        )
+        pytest.skip(f"regenerated {GOLDEN.name} with {len(events)} events")
+
+    expected = [json.loads(line) for line in GOLDEN.read_text().splitlines()]
+    kinds = [e["kind"] for e in events]
+    assert kinds == [e["kind"] for e in expected], "event sequence changed"
+    for got, want in zip(events, expected):
+        assert list(got.keys()) == list(want.keys()), (
+            f"field order of {got['kind']!r} changed"
+        )
+        for key, value in want.items():
+            if isinstance(value, float):
+                assert got[key] == pytest.approx(value), (got["kind"], key)
+            else:
+                assert got[key] == value, (got["kind"], key)

@@ -115,6 +115,61 @@ class TestCommands:
         args = build_parser().parse_args(["figure3"])
         assert not args.resume and args.journal is None
 
+    def test_trace_flag_parses_everywhere(self):
+        args = build_parser().parse_args(["run", "gzip", "--trace", "/tmp/t"])
+        assert args.trace == "/tmp/t"
+        args = build_parser().parse_args(["figure3", "--trace", "/tmp/t"])
+        assert args.trace == "/tmp/t"
+        assert build_parser().parse_args(["run", "gzip"]).trace is None
+
+    def test_run_trace_writes_session(self, capsys, tmp_path):
+        rc = main(["run", "gzip", "--length", "4000", "--warmup", "500",
+                   "--controller", "explore", "--trace",
+                   str(tmp_path / "out")])
+        assert rc == 0
+        for name in ("events.jsonl", "timeline.csv", "trace.json"):
+            assert (tmp_path / "out" / name).exists()
+        assert "trace written" in capsys.readouterr().err
+
+    def test_exhibit_trace_writes_sweep_profile(self, capsys, tmp_path,
+                                                monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc = main(["figure3", "--benchmarks", "gzip", "--length", "4000",
+                   "--jobs", "1", "--no-cache", "--trace",
+                   str(tmp_path / "prof")])
+        assert rc == 0
+        capsys.readouterr()
+        snapshot = json.loads((tmp_path / "prof" /
+                               "sweep_metrics.json").read_text())
+        assert snapshot["specs"], "per-spec timings must be recorded"
+        trace = json.loads((tmp_path / "prof" /
+                            "sweep_trace.json").read_text())
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+
+class TestHelpText:
+    """The top-level help must advertise every subsystem (regression:
+    it silently omitted the analysis entry point and the sweep flags)."""
+
+    def test_epilog_mentions_analysis_and_sweep_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "python -m repro.analysis" in out
+        for flag in ("--jobs", "--no-cache", "--timeout", "--metrics-json",
+                     "--journal", "--resume", "--trace"):
+            assert flag in out, f"top-level help must mention {flag}"
+        for doc in ("docs/SWEEPS.md", "docs/OBSERVABILITY.md",
+                    "docs/ANALYSIS.md", "docs/ARCHITECTURE.md"):
+            assert doc in out
+
+    def test_subcommand_help_documents_trace(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure3", "--help"])
+        assert "sweep_trace.json" in capsys.readouterr().out
+
 
 class TestFaultReporting:
     def test_failed_run_exits_nonzero_with_failure_table(

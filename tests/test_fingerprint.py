@@ -1,0 +1,34 @@
+"""The 15-case fingerprint: tracing must never perturb the simulation.
+
+Every topology x reconfiguration-policy combination is run twice — once
+untraced, once with an aggressive tracer attached — and the full SimStats
+must match bit-for-bit.  This pins the observability subsystem's core
+contract (tracers are passive observers) across every controller code
+path, including the ones that emit from dispatch and commit hot loops.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import generate_trace, get_profile, simulate
+from repro.observability import MemoryTracer
+
+TOPOLOGIES = ("ring", "grid", "decentralized")
+POLICIES = ("none", "static-4", "explore", "no-explore", "finegrain")
+
+_TRACE = generate_trace(get_profile("gzip"), 3_000, seed=13)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_traced_run_is_bit_identical(topology, policy):
+    kwargs = dict(topology=topology, reconfig_policy=policy, warmup=500)
+    baseline = simulate(_TRACE, **kwargs)
+    traced = simulate(_TRACE, trace=MemoryTracer(sample_period=100), **kwargs)
+    assert dataclasses.asdict(traced.stats) == dataclasses.asdict(
+        baseline.stats
+    )
+    assert traced.ipc == baseline.ipc
+    assert traced.cycles == baseline.cycles
+    assert traced.reconfigurations == baseline.reconfigurations
