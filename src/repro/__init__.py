@@ -32,6 +32,8 @@ from ._version import __version__ as __version__
 
 #: public name -> defining submodule (relative to this package)
 _EXPORTS = {
+    "MultiProgResult": ".api",
+    "MultiProgSpec": ".api",
     "SimResult": ".api",
     "SimSpec": ".api",
     "SweepResult": ".api",
@@ -49,6 +51,9 @@ _EXPORTS = {
     "default_config": ".config",
     "grid_config": ".config",
     "monolithic_config": ".config",
+    "ring_of_rings_config": ".config",
+    "torus_config": ".config",
+    "run_multiprog": ".multiprog",
     "DistantILPController": ".core",
     "ExploreConfig": ".core",
     "FineGrainConfig": ".core",

@@ -18,7 +18,9 @@ from .registry import Rule, register_rule
 
 #: the packages that make up the cycle-accurate simulator model; anything
 #: nondeterministic here perturbs simulated results, not just logs
-SIMULATOR_PACKAGES = ("pipeline", "clusters", "interconnect", "memory", "core")
+SIMULATOR_PACKAGES = (
+    "pipeline", "clusters", "interconnect", "memory", "core", "multiprog",
+)
 
 #: ``random`` module functions that draw from the hidden global generator
 _GLOBAL_RANDOM_FNS = {

@@ -53,6 +53,7 @@ LAYER_RANKS: Dict[str, int] = {
     "memory": 4,
     "pipeline": 5,
     "core": 6,
+    "multiprog": 6,
     "experiments": 7,
     "api": 8,
     "partition": 8,

@@ -25,8 +25,9 @@ Both speak one keyword vocabulary (:class:`SimSpec`):
 ``seed`` / ``trace_length``
     Trace-generation parameters (profile-name workloads only).
 ``topology``
-    Machine shape: ``"ring"`` (default), ``"grid"``, ``"decentralized"``
-    (ring + per-cluster cache banks), or ``"monolithic"``.
+    Machine shape: ``"ring"`` (default), ``"grid"``, ``"torus"``,
+    ``"ring-of-rings"``, ``"decentralized"`` (ring + per-cluster cache
+    banks), or ``"monolithic"``.
 ``reconfig_policy``
     ``"none"``, ``"static-<n>"``, ``"explore"``, ``"no-explore"``,
     ``"finegrain"``, ``"subroutine"``, or an explicit
@@ -53,13 +54,18 @@ from .config import (
     default_config,
     grid_config,
     monolithic_config,
+    ring_of_rings_config,
+    torus_config,
 )
 from .errors import ConfigError
+from .multiprog import MultiProgResult, MultiProgSpec, run_multiprog
 from .stats import SimStats
 from .workloads.instruction import Trace
 from .workloads.profiles import get_profile
 
 __all__ = [
+    "MultiProgResult",
+    "MultiProgSpec",
     "SimSpec",
     "SimResult",
     "SweepResult",
@@ -71,6 +77,8 @@ __all__ = [
 _TOPOLOGIES: Dict[str, Callable[[int], ProcessorConfig]] = {
     "ring": default_config,
     "grid": grid_config,
+    "torus": torus_config,
+    "ring-of-rings": ring_of_rings_config,
     "decentralized": decentralized_config,
 }
 
@@ -265,6 +273,14 @@ def simulate(
     yourself.  Tracing is passive — the returned result is bit-identical
     to an untraced run (see ``docs/OBSERVABILITY.md``).
 
+    Multiprogrammed runs use the same entry point: pass a
+    :class:`~repro.multiprog.MultiProgSpec`, or a tuple of profile names
+    plus :class:`MultiProgSpec` fields by keyword, and the multiprog
+    co-scheduler runs instead, returning a
+    :class:`~repro.multiprog.MultiProgResult`::
+
+        simulate(("gzip", "swim"), topology="torus", arbiter="round-robin")
+
     The pre-facade spelling ``simulate(trace, config, controller)`` (a
     positional :class:`~repro.config.ProcessorConfig` and controller
     instance, returning bare :class:`~repro.stats.SimStats`) still works
@@ -298,6 +314,9 @@ def simulate(
         if kwargs:
             raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
         return stats
+
+    if isinstance(workload, MultiProgSpec) or isinstance(workload, (tuple, list)):
+        return _simulate_multiprog(workload, trace, kwargs)
 
     if isinstance(workload, SimSpec):
         spec = dataclasses.replace(workload, **kwargs) if kwargs else workload
@@ -337,6 +356,32 @@ def simulate(
         if session is not None:
             session.close()
     return _to_sim_result(result)
+
+
+def _simulate_multiprog(workload, trace, kwargs) -> MultiProgResult:
+    """The multiprogrammed arm of :func:`simulate`."""
+    if isinstance(workload, MultiProgSpec):
+        spec = dataclasses.replace(workload, **kwargs) if kwargs else workload
+    else:
+        if not workload or not all(isinstance(w, str) for w in workload):
+            raise ConfigError(
+                "a multiprogrammed workload is a non-empty tuple of "
+                f"profile names, got {workload!r}"
+            )
+        allowed = {f.name for f in dataclasses.fields(MultiProgSpec)}
+        unknown = sorted(set(kwargs) - allowed)
+        if unknown:
+            raise ConfigError(
+                f"unknown multiprog arguments {unknown}; choose from "
+                f"{sorted(allowed - {'workloads'})}"
+            )
+        spec = MultiProgSpec(workloads=tuple(workload), **kwargs)
+    tracer, session = _resolve_tracer(trace)
+    try:
+        return run_multiprog(spec, tracer=tracer)
+    finally:
+        if session is not None:
+            session.close()
 
 
 # ----------------------------------------------------------------------
@@ -400,7 +445,8 @@ def sweep(
 ) -> SweepResult:
     """Fan a matrix of simulations out across worker processes.
 
-    ``specs`` may mix :class:`SimSpec` and raw
+    ``specs`` may mix :class:`SimSpec`,
+    :class:`~repro.multiprog.MultiProgSpec`, and raw
     :class:`~repro.experiments.sweep.RunSpec` entries.  Parallelism,
     caching, checkpoint journals, and fault tolerance are the sweep
     engine's (see ``docs/SWEEPS.md``); this facade only translates the
@@ -413,18 +459,20 @@ def sweep(
     trace-event spans of every executed run, lane-packed to show worker
     utilization; open in Perfetto).
     """
-    from .experiments.sweep import RunSpec, SweepRunner
+    from .experiments.sweep import RunSpec, SweepRunner, multiprog_run_spec
 
     run_specs: List[RunSpec] = []
     for spec in specs:
         if isinstance(spec, SimSpec):
             run_specs.append(spec.to_run_spec())
+        elif isinstance(spec, MultiProgSpec):
+            run_specs.append(multiprog_run_spec(spec))
         elif isinstance(spec, RunSpec):
             run_specs.append(spec)
         else:
             raise ConfigError(
-                f"sweep() takes SimSpec or RunSpec entries, got "
-                f"{type(spec).__name__}"
+                f"sweep() takes SimSpec, MultiProgSpec, or RunSpec "
+                f"entries, got {type(spec).__name__}"
             )
     runner = SweepRunner(
         jobs=jobs,

@@ -23,11 +23,13 @@ from typing import List, Optional, Sequence
 
 from .api import simulate
 from .experiments import (
+    fig_multiprog,
     figure3,
     figure5,
     figure6,
     figure7,
     figure8,
+    print_fig_multiprog,
     print_figure3,
     print_figure5,
     print_figure6,
@@ -51,6 +53,7 @@ _EXHIBITS = {
     "figure8": (figure8, print_figure8),
     "table3": (table3, print_table3),
     "table4": (table4, print_table4),
+    "fig_multiprog": (fig_multiprog, print_fig_multiprog),
 }
 
 _MACHINES = ("ring", "grid", "decentralized", "monolithic")
@@ -73,13 +76,18 @@ sweep execution flags (every exhibit command):
   --journal PATH / --resume                  checkpoint + restart a killed sweep
   --trace DIR                                per-run timings + Perfetto trace
 
+multiprogrammed runs:
+  python -m repro fig_multiprog              arbiters x fabrics weighted-speedup
+  python -m repro fig_multiprog --benchmarks gzip,swim,mgrid
+
 other tools:
   python -m repro.analysis [PATH ...]        static-analysis pass: determinism
                                              (D1xx), layering (L2xx), and
                                              stats/vocabulary (S3xx) rules
 
 docs: docs/SWEEPS.md (sweep engine), docs/OBSERVABILITY.md (tracing),
-docs/ANALYSIS.md (linter), docs/ARCHITECTURE.md (package map)
+docs/MULTIPROG.md (co-scheduling), docs/ANALYSIS.md (linter),
+docs/ARCHITECTURE.md (package map)
 """
 
 
@@ -196,6 +204,19 @@ def _journal_path(name: str, args: argparse.Namespace):
 
 def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
     generate, render = _EXHIBITS[name]
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    if name == "fig_multiprog":
+        # the multiprog exhibit co-schedules its benchmarks as one thread
+        # mix rather than iterating them, so "all nine" is not a default
+        if not args.benchmarks:
+            from .experiments.figures import MULTIPROG_MIX
+
+            benchmarks = MULTIPROG_MIX
+        elif not 2 <= len(benchmarks) <= 4:
+            raise SystemExit(
+                "fig_multiprog co-schedules 2-4 benchmarks, got "
+                f"{len(benchmarks)}: {','.join(benchmarks)}"
+            )
     runner = SweepRunner(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
         use_cache=not args.no_cache,
@@ -206,7 +227,7 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
     )
     try:
         results = generate(
-            benchmarks=_parse_benchmarks(args.benchmarks),
+            benchmarks=benchmarks,
             trace_length=args.length,
             runner=runner,
         )
@@ -222,7 +243,10 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
         print(format_failure_table(failure.records), file=sys.stderr)
         print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)
         return 1
-    print(render(results))
+    if name == "fig_multiprog":
+        print(render(results, benchmarks))
+    else:
+        print(render(results))
     print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)
     if args.metrics_json:
         import json

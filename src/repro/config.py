@@ -193,7 +193,7 @@ class ProcessorConfig:
     def __post_init__(self) -> None:
         if self.num_clusters < 1:
             raise ConfigError(f"num_clusters must be >= 1, got {self.num_clusters}")
-        if self.interconnect.topology not in ("ring", "grid"):
+        if self.interconnect.topology not in ("ring", "grid", "torus", "ring-of-rings"):
             raise ConfigError(f"unknown topology {self.interconnect.topology!r}")
         if self.memory.organization not in ("centralized", "decentralized"):
             raise ConfigError(
@@ -232,6 +232,22 @@ def grid_config(num_clusters: int = 16) -> ProcessorConfig:
     return ProcessorConfig(
         num_clusters=num_clusters,
         interconnect=InterconnectConfig(topology="grid"),
+    )
+
+
+def torus_config(num_clusters: int = 16) -> ProcessorConfig:
+    """Grid variant with wraparound links in both dimensions."""
+    return ProcessorConfig(
+        num_clusters=num_clusters,
+        interconnect=InterconnectConfig(topology="torus"),
+    )
+
+
+def ring_of_rings_config(num_clusters: int = 16) -> ProcessorConfig:
+    """Hierarchical fabric: local cluster rings bridged by a hub ring."""
+    return ProcessorConfig(
+        num_clusters=num_clusters,
+        interconnect=InterconnectConfig(topology="ring-of-rings"),
     )
 
 
@@ -279,12 +295,12 @@ def validate_config(config: ProcessorConfig) -> None:
     ``__post_init__`` catches structural issues; this adds cross-field
     checks used by the experiment harness before long runs.
     """
-    if config.interconnect.topology == "grid":
+    if config.interconnect.topology in ("grid", "torus"):
         side = int(round(config.num_clusters ** 0.5))
         if side * side != config.num_clusters and config.num_clusters % 4 != 0:
             raise ConfigError(
-                "grid topology needs a rectangular cluster count, got "
-                f"{config.num_clusters}"
+                f"{config.interconnect.topology} topology needs a rectangular "
+                f"cluster count, got {config.num_clusters}"
             )
     if config.memory.organization == "decentralized":
         if config.memory.l1.banks != 1:

@@ -21,6 +21,8 @@ from ..config import (
     decentralized_config,
     default_config,
     grid_config,
+    ring_of_rings_config,
+    torus_config,
 )
 from ..core import ExploreConfig, NoExploreConfig
 from ..workloads.profiles import BENCHMARK_NAMES
@@ -392,3 +394,143 @@ def format_table_local(headers, rows, title):
     from .reporting import format_table
 
     return format_table(headers, rows, title)
+
+
+# ----------------------------------------------------------------------
+# fig_multiprog: co-scheduled threads under competing arbiters
+
+
+#: the fabrics the multiprog exhibit compares (placement matters on all
+#: three; the flat ring is covered by the conformance suite instead)
+MULTIPROG_FABRICS = ("grid", "torus", "ring-of-rings")
+
+#: default 2-thread mix: one communication-heavy, one parallel profile
+MULTIPROG_MIX = ("gzip", "swim")
+
+
+def fig_multiprog(
+    benchmarks: Sequence[str] = MULTIPROG_MIX,
+    trace_length: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    fabrics: Sequence[str] = MULTIPROG_FABRICS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fairness/throughput of every arbiter on every fabric.
+
+    ``benchmarks`` is the co-scheduled thread mix (2-4 profile names).
+    Returns ``{arbiter: {fabric: metrics}}`` where ``metrics`` holds
+    ``weighted_speedup`` (vs. each thread running alone on the same
+    fabric, measured in the same sweep batch), ``throughput_ipc``,
+    ``harmonic_mean_ipc``, ``arb_grants``, and ``arb_reclaims``.
+    """
+    from ..multiprog import MultiProgSpec, arbiter_names, thread_seed
+    from ..multiprog.spec import DEFAULT_TRACE_LENGTH
+    from .sweep import multiprog_run_spec
+
+    mix = tuple(benchmarks)
+    fabrics = tuple(fabrics)
+    arbiters = arbiter_names()
+    runner = runner or _serial_runner()
+    length = trace_length if trace_length is not None else DEFAULT_TRACE_LENGTH
+
+    fabric_factories = {
+        "ring": default_config,
+        "grid": grid_config,
+        "torus": torus_config,
+        "ring-of-rings": ring_of_rings_config,
+    }
+    # one batch: the arbiter matrix plus the per-fabric solo baselines
+    specs: List[RunSpec] = []
+    for fabric in fabrics:
+        for arbiter in arbiters:
+            specs.append(
+                multiprog_run_spec(
+                    MultiProgSpec(
+                        workloads=mix,
+                        trace_length=length,
+                        seed=seed,
+                        topology=fabric,
+                        arbiter=arbiter,
+                        label=f"{arbiter}/{fabric}",
+                    )
+                )
+            )
+        for index, bench in enumerate(mix):
+            specs.append(
+                RunSpec(
+                    profile=bench,
+                    trace_length=length,
+                    seed=thread_seed(seed, index),
+                    config=fabric_factories[fabric](16),
+                    warmup=0,
+                    label=f"solo/{fabric}/{index}",
+                )
+            )
+    records = require_ok(runner.run(specs))
+
+    solo_ipcs: Dict[str, List[float]] = {f: [0.0] * len(mix) for f in fabrics}
+    multiprog_results: Dict[Tuple[str, str], object] = {}
+    for record in records:
+        label = record.spec.label
+        if record.spec.multiprog is not None:
+            arbiter, fabric = label.split("/")
+            multiprog_results[(arbiter, fabric)] = record.multiprog_result
+        else:
+            _, fabric, index = label.split("/")
+            solo_ipcs[fabric][int(index)] = record.result.ipc
+
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arbiter in arbiters:
+        table[arbiter] = {}
+        for fabric in fabrics:
+            mp = multiprog_results[(arbiter, fabric)]
+            table[arbiter][fabric] = {
+                "weighted_speedup": mp.weighted_speedup(solo_ipcs[fabric]),
+                "throughput_ipc": mp.throughput_ipc,
+                "harmonic_mean_ipc": mp.harmonic_mean_ipc,
+                "arb_grants": float(mp.arb_grants),
+                "arb_reclaims": float(mp.arb_reclaims),
+            }
+    return table
+
+
+def print_fig_multiprog(
+    results: Mapping[str, Mapping[str, Mapping[str, float]]],
+    benchmarks: Sequence[str] = MULTIPROG_MIX,
+) -> str:
+    from ..multiprog import arbiter_names
+    from .reporting import multiprog_table
+
+    arbiters = [a for a in arbiter_names() if a in results]
+    fabrics: List[str] = []
+    for arbiter in arbiters:
+        for fabric in results[arbiter]:
+            if fabric not in fabrics:
+                fabrics.append(fabric)
+    mix = "+".join(benchmarks)
+    blocks = [
+        multiprog_table(
+            {a: {f: results[a][f]["weighted_speedup"] for f in fabrics}
+             for a in arbiters},
+            fabrics,
+            arbiters,
+            f"fig_multiprog: weighted speedup of {mix} (vs solo on the "
+            f"same fabric)",
+        ),
+        multiprog_table(
+            {a: {f: results[a][f]["throughput_ipc"] for f in fabrics}
+             for a in arbiters},
+            fabrics,
+            arbiters,
+            "throughput (total IPC over global cycles)",
+        ),
+        multiprog_table(
+            {a: {f: results[a][f]["arb_grants"]
+                 + results[a][f]["arb_reclaims"] for f in fabrics}
+             for a in arbiters},
+            fabrics,
+            arbiters,
+            "allocation churn (grants + reclaims)",
+        ),
+    ]
+    return "\n\n".join(blocks)

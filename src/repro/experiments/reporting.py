@@ -14,6 +14,36 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the fairness-leaning aggregate for multiprog IPC)."""
+    values = list(values)
+    if not values or any(v <= 0 for v in values):
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def multiprog_table(
+    metrics: Mapping[str, Mapping[str, float]],
+    fabric_order: Sequence[str],
+    arbiter_order: Sequence[str],
+    title: str,
+) -> str:
+    """Arbiters x fabrics matrix of one multiprog metric.
+
+    ``metrics[arbiter][fabric]`` is the cell value (e.g. weighted
+    speedup); rows follow ``arbiter_order``, columns ``fabric_order``.
+    """
+    headers = ["arbiter"] + list(fabric_order)
+    rows = []
+    for arbiter in arbiter_order:
+        per_fabric = metrics.get(arbiter, {})
+        rows.append(
+            [arbiter]
+            + [per_fabric.get(f, float("nan")) for f in fabric_order]
+        )
+    return format_table(headers, rows, title)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

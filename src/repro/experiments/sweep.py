@@ -76,6 +76,8 @@ from ..core import (
     StaticController,
     SubroutineController,
 )
+from ..multiprog import MultiProgResult, MultiProgSpec, run_multiprog
+from ..multiprog.scheduler import fabric_config
 from ..stats import IntervalRecord
 from ..workloads.generator import generate_trace
 from ..workloads.profiles import get_profile
@@ -207,6 +209,10 @@ class RunSpec:
     #: vocabulary's ``max_instructions``, counted from the start of the
     #: trace, warmup included
     max_instructions: Optional[int] = None
+    #: when set, the worker runs the multiprogrammed co-scheduler instead
+    #: of a single-thread simulation; build such specs with
+    #: :func:`multiprog_run_spec` so the redundant fields stay consistent
+    multiprog: Optional[MultiProgSpec] = None
 
     def cache_key(self) -> str:
         """Stable content hash of the run's inputs plus the code version."""
@@ -224,6 +230,7 @@ class RunSpec:
                 f"steering={self.steering!r}",
                 f"record={self.record_granularity!r}",
                 f"max_instructions={self.max_instructions!r}",
+                f"multiprog={self.multiprog!r}",
             )
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -263,6 +270,9 @@ class RunRecord:
     result: Optional[RunResult] = None
     #: interval recording (``record_granularity`` mode) instead of a result
     records: Optional[List[IntervalRecord]] = None
+    #: per-thread detail of a multiprogrammed run (``result`` then carries
+    #: the aggregate: throughput IPC over global cycles, merged stats)
+    multiprog_result: Optional[MultiProgResult] = None
     #: every active-cluster change, in commit order (determinism evidence)
     events: Tuple[Reconfiguration, ...] = ()
     error: str = ""
@@ -317,8 +327,57 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires asynchronously
     raise _RunTimeout()
 
 
+def multiprog_run_spec(spec: MultiProgSpec) -> RunSpec:
+    """Wrap a :class:`MultiProgSpec` as a sweep-engine :class:`RunSpec`.
+
+    The mirrored scalar fields (profile/length/seed/config) keep cache
+    keys, validation bounds, and reporting working unchanged; the worker
+    dispatches on ``multiprog`` and ignores them otherwise.
+    """
+    return RunSpec(
+        profile=spec.name,
+        trace_length=spec.trace_length,
+        seed=spec.seed,
+        config=fabric_config(spec),
+        warmup=0,
+        label=spec.resolved_label(),
+        multiprog=spec,
+    )
+
+
+def _run_multiprog_spec(spec: RunSpec) -> RunRecord:
+    """Worker-side execution of a multiprogrammed spec."""
+    start = time.perf_counter()
+    mp = run_multiprog(spec.multiprog)
+    stats = mp.stats
+    # aggregate view: throughput over *global* cycles; "reconfigurations"
+    # counts arbiter actions, the multiprog analogue of cluster changes
+    result = RunResult(
+        name=mp.name,
+        label=spec.label,
+        ipc=mp.throughput_ipc,
+        committed=mp.committed,
+        cycles=mp.cycles,
+        mispredict_interval=stats.mispredict_interval,
+        avg_active_clusters=(
+            stats.owned_cluster_cycles / mp.cycles if mp.cycles else 0.0
+        ),
+        reconfigurations=stats.arb_grants + stats.arb_reclaims,
+        stats=stats,
+    )
+    return RunRecord(
+        spec=spec,
+        status="ok",
+        result=result,
+        multiprog_result=mp,
+        duration=time.perf_counter() - start,
+    )
+
+
 def _run_spec(spec: RunSpec) -> RunRecord:
     """Execute one spec (no error handling — see :func:`execute_spec`)."""
+    if spec.multiprog is not None:
+        return _run_multiprog_spec(spec)
     start = time.perf_counter()
     trace = _trace_for(spec.profile, spec.trace_length, spec.seed)
 
@@ -365,6 +424,9 @@ def _validate_record(record: RunRecord) -> None:
     if result is None:
         return
     width = record.spec.config.front_end.commit_width
+    if record.spec.multiprog is not None:
+        # aggregate throughput: every thread commits through its own ROB
+        width *= len(record.spec.multiprog.workloads)
     if not math.isfinite(result.ipc) or not 0 <= result.ipc <= width:
         raise SimulationError(
             f"result IPC {result.ipc!r} outside sane bounds [0, {width}] "

@@ -19,6 +19,10 @@ A :class:`FaultPlan` describes artificial failures to inject into
   the sweep-level sanity validation must catch.
 * ``corrupt_cache_writes`` — truncate and scramble every cache payload as
   it is written, which the cache's checksum must detect on read.
+* ``scramble_topology`` — truncate every multi-hop interconnect route as
+  topologies are built, which the invariant checker's route-table walk
+  (``REPRO_CHECK_INVARIANTS``) must catch before any statistics are
+  trusted.
 
 The plan travels to worker processes through the ``REPRO_FAULT_PLAN``
 environment variable (a JSON dict), so no live objects cross the process
@@ -60,6 +64,7 @@ class FaultPlan:
     hang_seconds: float = 3600.0
     nan_profiles: Tuple[str, ...] = ()
     corrupt_cache_writes: bool = False
+    scramble_topology: bool = False
     #: pid of the process that armed the plan; crashes are refused there
     main_pid: int = field(default_factory=os.getpid)
 
@@ -158,3 +163,26 @@ def corrupt_cache_payload(data: bytes) -> bytes:
         return data
     keep = max(1, len(data) // 2)
     return bytes(b ^ 0x5A for b in data[:keep])
+
+
+def scrambled_topology(topology):
+    """Miswiring fault: drop the last link of every multi-hop route.
+
+    Called by ``build_topology`` on every topology it constructs.  With no
+    plan armed this returns ``topology`` untouched; with
+    ``scramble_topology`` set it shadows the instance's ``route`` so every
+    multi-hop route ends one node short of its destination — exactly the
+    corruption the invariant checker's route-table walk must report as a
+    :class:`~repro.errors.SimulationError` (deterministic, no randomness).
+    """
+    plan = active_plan()
+    if plan is None or not plan.scramble_topology:
+        return topology
+    real_route = topology.route
+
+    def broken_route(src, dst):
+        path = tuple(real_route(src, dst))
+        return path[:-1] if len(path) >= 2 else path
+
+    topology.route = broken_route
+    return topology

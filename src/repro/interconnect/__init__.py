@@ -1,8 +1,18 @@
 """Inter-cluster interconnect: topologies and the contention-aware network."""
 
 from .grid import GridTopology
+from .hierring import HierRingTopology
 from .network import Network, build_topology
 from .ring import RingTopology
 from .topology import Topology
+from .torus import TorusTopology
 
-__all__ = ["GridTopology", "Network", "RingTopology", "Topology", "build_topology"]
+__all__ = [
+    "GridTopology",
+    "HierRingTopology",
+    "Network",
+    "RingTopology",
+    "Topology",
+    "TorusTopology",
+    "build_topology",
+]

@@ -73,3 +73,6 @@ class GridTopology(Topology):
         r, c = divmod(src, self.cols)
         dr, dc = divmod(dst, self.cols)
         return abs(r - dr) + abs(c - dc)
+
+    def link_endpoints(self) -> Dict[int, Tuple[int, int]]:
+        return {link: ends for ends, link in self._link_ids.items()}

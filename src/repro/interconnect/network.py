@@ -18,19 +18,30 @@ from typing import Dict, Optional
 
 from ..config import InterconnectConfig
 from ..errors import ConfigError
+from ..faults import scrambled_topology
 from ..stats import SimStats
 from ..timing import SlotReserver
 from .grid import GridTopology
+from .hierring import HierRingTopology
 from .ring import RingTopology
 from .topology import Topology
+from .torus import TorusTopology
 
 
 def build_topology(config: InterconnectConfig, num_nodes: int) -> Topology:
     if config.topology == "ring":
-        return RingTopology(num_nodes)
-    if config.topology == "grid":
-        return GridTopology(num_nodes)
-    raise ConfigError(f"unknown topology {config.topology!r}")
+        topology: Topology = RingTopology(num_nodes)
+    elif config.topology == "grid":
+        topology = GridTopology(num_nodes)
+    elif config.topology == "torus":
+        topology = TorusTopology(num_nodes)
+    elif config.topology == "ring-of-rings":
+        topology = HierRingTopology(num_nodes)
+    else:
+        raise ConfigError(f"unknown topology {config.topology!r}")
+    # chaos hook: a no-op dict lookup unless a FaultPlan armed
+    # scramble_topology (see repro.faults)
+    return scrambled_topology(topology)
 
 
 class Network:

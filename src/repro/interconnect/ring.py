@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from .topology import Topology
 
@@ -56,3 +56,9 @@ class RingTopology(Topology):
         cw = (dst - src) % n
         ccw = (src - dst) % n
         return min(cw, ccw)
+
+    def link_endpoints(self) -> Dict[int, Tuple[int, int]]:
+        n = self.num_nodes
+        endpoints = {i: (i, (i + 1) % n) for i in range(n)}
+        endpoints.update({n + i: (i, (i - 1) % n) for i in range(n)})
+        return endpoints

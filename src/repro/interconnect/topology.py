@@ -12,7 +12,7 @@ considers two options:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
 
 class Topology:
@@ -29,6 +29,15 @@ class Topology:
 
     def route(self, src: int, dst: int) -> Sequence[int]:
         """The directed link ids traversed from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def link_endpoints(self) -> Dict[int, Tuple[int, int]]:
+        """Map each directed link id to its ``(source, destination)`` nodes.
+
+        The invariant checker walks every cached route against this table
+        to prove the route is a connected chain of real links; every
+        concrete topology must implement it.
+        """
         raise NotImplementedError
 
     def hops(self, src: int, dst: int) -> int:

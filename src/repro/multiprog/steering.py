@@ -1,0 +1,95 @@
+"""Ownership-masked instruction steering for co-scheduled threads.
+
+A thread's processor is built over the *full* physical fabric (so hop
+distances are real), but it may only dispatch into clusters it currently
+owns.  :class:`MaskedSteering` enforces that at the steering interface:
+the feasible set is the intersection of the thread's owned clusters with
+the capacity-feasible ones, and within it the selection logic mirrors the
+paper's :class:`~repro.clusters.steering.ProducerSteering` (bank
+preference, producer preference with criticality tiebreak, least-loaded
+imbalance override) so single-thread behaviour is directly comparable.
+
+Reclaimed clusters leave the mask immediately — in-flight instructions
+there drain naturally, exactly like the processor's own prefix
+deactivation — and granted clusters join it at the epoch boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..clusters.cluster import Cluster
+from ..clusters.criticality import CriticalityPredictor
+from ..clusters.steering import SteeringHeuristic
+from ..workloads.instruction import Instr
+
+
+class MaskedSteering(SteeringHeuristic):
+    """Producer steering restricted to an updatable owned-cluster set."""
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        criticality: Optional[CriticalityPredictor] = None,
+        imbalance_threshold: int = 4,
+    ) -> None:
+        super().__init__(clusters)
+        self.criticality = criticality or CriticalityPredictor()
+        self.imbalance_threshold = imbalance_threshold
+        #: ascending cluster ids this thread may dispatch into
+        self.owned: Tuple[int, ...] = ()
+
+    def set_owned(self, owned: Iterable[int]) -> None:
+        self.owned = tuple(sorted(owned))
+
+    def choose(
+        self,
+        instr: Instr,
+        producer_clusters: Sequence[Tuple[int, int]],
+        active: int,
+        preferred: Optional[int] = None,
+    ) -> Optional[int]:
+        clusters = self.clusters
+        needs_reg = instr.has_dest
+        op = instr.op
+        feasible: List[int] = [
+            k
+            for k in self.owned
+            if k < active and clusters[k].can_accept(op, needs_reg)
+        ]
+        if not feasible:
+            return None
+
+        # 1. decentralized cache: favour the predicted bank cluster
+        if preferred is not None and preferred in feasible:
+            return preferred
+
+        # 2. producer preference with criticality tiebreak (the two-operand
+        # cases of ProducerSteering; >2 producers collapse to the first)
+        candidate: Optional[int] = None
+        usable = [pc for pc in producer_clusters if pc[1] in feasible]
+        if len(usable) == 1:
+            candidate = usable[0][1]
+        elif len(usable) >= 2:
+            pos0, c0 = usable[0]
+            pos1, c1 = usable[1]
+            if c0 == c1:
+                candidate = c0
+            else:
+                crit = self.criticality.predict_critical_operand(instr.pc)
+                candidate = c1 if pos1 == crit and pos0 != crit else c0
+
+        # 3. load-imbalance override / no-producer fallback (lowest owned
+        # feasible cluster wins occupancy ties)
+        least = feasible[0]
+        least_occ = clusters[least].iq_occupancy
+        for k in feasible:
+            occ = clusters[k].iq_occupancy
+            if occ < least_occ:
+                least = k
+                least_occ = occ
+        if candidate is None:
+            return least
+        if clusters[candidate].iq_occupancy - least_occ > self.imbalance_threshold:
+            return least
+        return candidate

@@ -72,6 +72,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # null on a miss, which falls back to the large configuration)
     "table_lookup": ("pc", "hit", "advised"),
     "table_flush": ("entries", "hits", "misses"),
+    # -- multiprog/scheduler.py -----------------------------------------
+    # the arbiter granted a free cluster to a thread; ``owned`` is the
+    # thread's cluster count after the grant
+    "arb_grant": ("thread", "cluster", "arbiter", "owned"),
+    # the arbiter reclaimed a cluster from a thread (it drains before it
+    # becomes grantable); ``owned`` is the count after the reclaim
+    "arb_reclaim": ("thread", "cluster", "arbiter", "owned"),
 }
 
 

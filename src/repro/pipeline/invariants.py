@@ -20,6 +20,14 @@ cycle/instruction context when one fails:
   scheduled is accounted exactly once in the statistics, and accumulated
   transfer latency is at least ``transfers x hop_latency`` (a message
   cannot arrive faster than one uncontended hop).
+* **Route-table integrity** (checked once, on the first sample) — every
+  (src, dst) route the topology serves is a connected chain of real
+  directed links: it starts at ``src``, each link's source is the previous
+  link's destination (per ``Topology.link_endpoints``), it ends at
+  ``dst``, and its length agrees with ``Topology.hops``.  This is what
+  catches a miswired torus wrap-around or ring-of-rings hub table; the
+  ``scramble_topology`` fault in :mod:`repro.faults` exists to prove it
+  does.
 * **Rate sanity** — ``committed <= issued <= dispatched``, IPC within
   ``(0, commit_width]``, never NaN, and active-cluster accounting within
   ``num_clusters x cycles``.
@@ -62,6 +70,7 @@ class InvariantChecker:
         self.period = max(1, processor.config.invariant_sample_period)
         self._next_check = self.period
         self.checks_run = 0
+        self._topology_checked = False
 
     # ------------------------------------------------------------------
     def maybe_check(self) -> None:
@@ -73,6 +82,9 @@ class InvariantChecker:
     def check(self) -> None:
         """Run every invariant check now (also called at end of run)."""
         self.checks_run += 1
+        if not self._topology_checked:
+            self._topology_checked = True
+            self._check_topology()
         self._check_rob()
         self._check_clusters()
         self._check_network()
@@ -137,6 +149,51 @@ class InvariantChecker:
                 f"{total_regs} physical registers allocated for {live_dests} "
                 "in-flight destinations — register leak",
             )
+
+    def _check_topology(self) -> None:
+        """Walk every route against the link-endpoint table (once per run).
+
+        Routing tables are static, so this runs on the first sample only;
+        it is the check that makes a broken torus/ring-of-rings wiring
+        fail loudly instead of silently inventing shortcut latencies.
+        """
+        topology = self.processor.network.topology
+        try:
+            endpoints = topology.link_endpoints()
+        except NotImplementedError:  # pragma: no cover - external topologies
+            return
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src == dst:
+                    continue
+                route = list(topology.route(src, dst))
+                at = src
+                for link in route:
+                    if link not in endpoints:
+                        self._fail(
+                            "topology",
+                            f"route {src}->{dst} uses link {link} which is "
+                            "not in the topology's link table",
+                        )
+                    head, tail = endpoints[link]
+                    if head != at:
+                        self._fail(
+                            "topology",
+                            f"route {src}->{dst} is not a connected chain: "
+                            f"link {link} starts at {head}, expected {at}",
+                        )
+                    at = tail
+                if at != dst:
+                    self._fail(
+                        "topology",
+                        f"route {src}->{dst} ends at node {at}, not {dst}",
+                    )
+                if len(route) != topology.hops(src, dst):
+                    self._fail(
+                        "topology",
+                        f"route {src}->{dst} has {len(route)} links but "
+                        f"hops() reports {topology.hops(src, dst)}",
+                    )
 
     def _check_network(self) -> None:
         p = self.processor

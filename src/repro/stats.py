@@ -59,6 +59,12 @@ class SimStats:
     flush_stall_cycles: int = 0
     cluster_cycle_product: int = 0  # sum over cycles of active cluster count
 
+    # multiprogrammed arbitration (repro.multiprog): allocation churn and
+    # the owned-cluster integral; zero for single-threaded runs
+    arb_grants: int = 0
+    arb_reclaims: int = 0
+    owned_cluster_cycles: int = 0  # sum over cycles of owned cluster count
+
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
@@ -98,6 +104,13 @@ class SimStats:
         if self.bank_predictions == 0:
             return 1.0
         return 1.0 - self.bank_mispredictions / self.bank_predictions
+
+    @property
+    def avg_owned_clusters(self) -> float:
+        """Mean clusters owned per cycle under a multiprog arbiter."""
+        if self.cycles == 0:
+            return 0.0
+        return self.owned_cluster_cycles / self.cycles
 
     def merge(self, other: "SimStats") -> "SimStats":
         """Accumulate ``other``'s counters into this object (in place).
@@ -142,6 +155,9 @@ class SimStats:
         self.flush_writebacks += other.flush_writebacks
         self.flush_stall_cycles += other.flush_stall_cycles
         self.cluster_cycle_product += other.cluster_cycle_product
+        self.arb_grants += other.arb_grants
+        self.arb_reclaims += other.arb_reclaims
+        self.owned_cluster_cycles += other.owned_cluster_cycles
         return self
 
     @classmethod

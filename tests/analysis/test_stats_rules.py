@@ -161,11 +161,11 @@ class TestS303VocabularyLiterals:
             "examples_dir/demo.py": """
                 from repro.api import simulate
 
-                simulate("gzip", topology="torus")
+                simulate("gzip", topology="hexgrid")
             """,
         }, select=["S303"])
         assert len(found) == 1
-        assert "torus" in found[0].message
+        assert "hexgrid" in found[0].message
 
     def test_bad_policy_flagged_static_n_ok(self, findings_of):
         found = findings_of({

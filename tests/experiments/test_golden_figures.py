@@ -34,7 +34,18 @@ def parse_exhibit(name):
     Column boundaries come from the row of dashes under the header, so
     multi-word column names ("base IPC") parse correctly.
     """
-    lines = (RESULTS / name).read_text().splitlines()
+    return _parse_table((RESULTS / name).read_text().splitlines())
+
+
+def parse_exhibit_blocks(name):
+    """Parse a multi-table exhibit (blank-line separated) into a list."""
+    blocks = [
+        b for b in (RESULTS / name).read_text().split("\n\n") if b.strip()
+    ]
+    return [_parse_table(b.splitlines()) for b in blocks]
+
+
+def _parse_table(lines):
     dash_idx = next(
         i
         for i, line in enumerate(lines)
@@ -58,7 +69,7 @@ def parse_exhibit(name):
             table[cells[0]] = dict(zip(header, map(float, cells[1:])))
         except ValueError:
             break  # footer lines below the table
-    assert table, f"no data rows found in {name}"
+    assert table, "no data rows found in exhibit table"
     return table
 
 
@@ -99,6 +110,85 @@ class TestCommittedExhibits:
         # FP codes barely mispredict; integer codes do so every ~60-250
         assert min(interval["swim"], interval["mgrid"]) > 1_000
         assert max(interval["cjpeg"], interval["gzip"]) < 250
+
+
+class TestCommittedMultiprog:
+    """The checked-in fig_multiprog exhibit: 3 arbiters x 3 fabrics."""
+
+    ARBITERS = ("comm-aware", "round-robin", "static")
+    FABRICS = ("grid", "torus", "ring-of-rings")
+
+    def test_matrix_is_complete(self):
+        speedup, throughput, churn = parse_exhibit_blocks("fig_multiprog.txt")
+        for table in (speedup, throughput, churn):
+            assert set(table) == set(self.ARBITERS)
+            for row in table.values():
+                assert set(row) == set(self.FABRICS)
+
+    def test_weighted_speedups_plausible(self):
+        speedup = parse_exhibit_blocks("fig_multiprog.txt")[0]
+        for arbiter in self.ARBITERS:
+            for fabric in self.FABRICS:
+                assert 0.85 < speedup[arbiter][fabric] < 1.15, (arbiter, fabric)
+
+    def test_comm_aware_never_worse(self):
+        # the contiguity-preserving allocator must not lose to either the
+        # frozen partition or the id-ordered reclaimer on any fabric
+        speedup = parse_exhibit_blocks("fig_multiprog.txt")[0]
+        for fabric in self.FABRICS:
+            best_other = max(
+                speedup["static"][fabric], speedup["round-robin"][fabric]
+            )
+            assert speedup["comm-aware"][fabric] >= best_other - 0.005, fabric
+
+    def test_static_never_rebalances_dynamic_arbiters_do(self):
+        churn = parse_exhibit_blocks("fig_multiprog.txt")[2]
+        for fabric in self.FABRICS:
+            assert churn["static"][fabric] == 0, fabric
+            assert churn["round-robin"][fabric] > 0, fabric
+            assert churn["comm-aware"][fabric] > 0, fabric
+
+
+@pytest.mark.slow
+class TestMiniMultiprog:
+    """Miniature fig_multiprog re-simulation: deterministic and coherent."""
+
+    FABRICS = ("grid", "ring-of-rings")
+    LEN = 6_000
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments.figures import fig_multiprog
+
+        return fig_multiprog(
+            benchmarks=("gzip", "swim"),
+            trace_length=self.LEN,
+            fabrics=self.FABRICS,
+        )
+
+    def test_matrix_complete(self, results):
+        assert set(results) == {"comm-aware", "round-robin", "static"}
+        for by_fabric in results.values():
+            assert set(by_fabric) == set(self.FABRICS)
+            for metrics in by_fabric.values():
+                assert metrics["weighted_speedup"] > 0.5
+                assert metrics["throughput_ipc"] > 0
+                assert metrics["harmonic_mean_ipc"] > 0
+
+    def test_static_has_zero_churn(self, results):
+        for fabric in self.FABRICS:
+            m = results["static"][fabric]
+            assert m["arb_grants"] == 0 and m["arb_reclaims"] == 0
+
+    def test_rerun_is_identical(self, results):
+        from repro.experiments.figures import fig_multiprog
+
+        again = fig_multiprog(
+            benchmarks=("gzip", "swim"),
+            trace_length=self.LEN,
+            fabrics=self.FABRICS,
+        )
+        assert again == results
 
 
 @pytest.mark.slow

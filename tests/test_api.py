@@ -41,7 +41,7 @@ class TestSimulateFacade:
 
     def test_unknown_topology_rejected(self, parallel_trace):
         with pytest.raises(ConfigError, match="unknown topology"):
-            simulate(parallel_trace, topology="torus")
+            simulate(parallel_trace, topology="hexgrid")
 
     def test_unknown_policy_rejected(self, parallel_trace):
         with pytest.raises(ConfigError, match="unknown reconfig_policy"):
@@ -77,7 +77,7 @@ class TestSweepFacade:
             sweep([SimSpec(workload=parallel_trace)])
 
     def test_non_spec_entry_rejected(self):
-        with pytest.raises(ConfigError, match="SimSpec or RunSpec"):
+        with pytest.raises(ConfigError, match="SimSpec, MultiProgSpec, or RunSpec"):
             sweep(["gzip"])
 
 

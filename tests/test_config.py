@@ -91,7 +91,7 @@ class TestValidation:
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(ConfigError):
-            ProcessorConfig(interconnect=InterconnectConfig(topology="torus"))
+            ProcessorConfig(interconnect=InterconnectConfig(topology="hexgrid"))
 
     def test_unknown_organization_rejected(self):
         with pytest.raises(ConfigError):

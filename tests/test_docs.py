@@ -7,7 +7,10 @@ scratch directory, so examples may write files freely.
 
 Fragments that are illustrative rather than executable must use a
 different fence tag (```text, ```console, bare ```); ```python means
-"this runs".
+"this runs".  A block whose first line is ``# docs: slow`` still runs,
+but under the ``slow`` marker (multi-second examples — e.g. the
+multiprogrammed sweeps in docs/MULTIPROG.md — stay out of the fast PR
+lane without losing coverage).
 """
 
 import os
@@ -42,9 +45,17 @@ def python_blocks(path):
     assert block_start is None, f"{path}: unterminated ```python fence"
 
 
+_SLOW_MARKER = "# docs: slow"
+
+
+def _marks(source):
+    return [pytest.mark.slow] if source.lstrip().startswith(_SLOW_MARKER) else []
+
+
 BLOCKS = [
     pytest.param(path, lineno, source,
-                 id=f"{path.relative_to(REPO)}:{lineno}")
+                 id=f"{path.relative_to(REPO)}:{lineno}",
+                 marks=_marks(source))
     for path in DOC_FILES
     for lineno, source in python_blocks(path)
 ]

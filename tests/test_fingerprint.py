@@ -1,23 +1,43 @@
-"""The 15-case fingerprint: tracing must never perturb the simulation.
+"""The 25-case fingerprint: tracing must never perturb the simulation.
 
 Every topology x reconfiguration-policy combination is run twice — once
 untraced, once with an aggressive tracer attached — and the full SimStats
 must match bit-for-bit.  This pins the observability subsystem's core
 contract (tracers are passive observers) across every controller code
 path, including the ones that emit from dispatch and commit hot loops.
+
+Each case's untraced SimStats is additionally pinned as a digest in
+``golden_fingerprints.json``: any change to simulator timing on any
+topology (including torus and ring-of-rings) fails here first.  After an
+intentional timing change, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_fingerprint.py
 """
 
 import dataclasses
+import hashlib
+import json
+import os
+import pathlib
 
 import pytest
 
 from repro import generate_trace, get_profile, simulate
 from repro.observability import MemoryTracer
 
-TOPOLOGIES = ("ring", "grid", "decentralized")
+TOPOLOGIES = ("ring", "grid", "decentralized", "torus", "ring-of-rings")
 POLICIES = ("none", "static-4", "explore", "no-explore", "finegrain")
 
+GOLDEN = pathlib.Path(__file__).with_name("golden_fingerprints.json")
+
 _TRACE = generate_trace(get_profile("gzip"), 3_000, seed=13)
+
+
+def fingerprint(stats):
+    """A short stable digest of the full SimStats (order-independent)."""
+    payload = json.dumps(dataclasses.asdict(stats), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 @pytest.mark.parametrize("topology", TOPOLOGIES)
@@ -32,3 +52,20 @@ def test_traced_run_is_bit_identical(topology, policy):
     assert traced.ipc == baseline.ipc
     assert traced.cycles == baseline.cycles
     assert traced.reconfigurations == baseline.reconfigurations
+
+    key = f"{topology}/{policy}"
+    digest = fingerprint(baseline.stats)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        data = json.loads(GOLDEN.read_text()) if GOLDEN.exists() else {}
+        data[key] = digest
+        GOLDEN.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated fingerprint for {key}")
+    expected = json.loads(GOLDEN.read_text())
+    assert key in expected, (
+        f"no golden fingerprint for {key}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    assert digest == expected[key], (
+        f"simulation fingerprint changed for {key}; if the timing change "
+        "is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )

@@ -40,6 +40,11 @@ class TestSimStats:
         s = SimStats(bank_predictions=100, bank_mispredictions=20)
         assert s.bank_prediction_accuracy == 0.8
 
+    def test_avg_owned_clusters(self):
+        s = SimStats(cycles=10, owned_cluster_cycles=80)
+        assert s.avg_owned_clusters == 8.0
+        assert SimStats().avg_owned_clusters == 0.0
+
     def test_snapshot_keys(self):
         snap = SimStats(cycles=10, committed=20).snapshot()
         assert snap["ipc"] == 2.0
@@ -117,6 +122,18 @@ class TestMerge:
     def test_merged_empty_is_zero(self):
         total = SimStats.merged([])
         assert total.cycles == 0 and total.ipc == 0.0
+
+    def test_merge_sums_arbitration_counters(self):
+        # the multiprog fields must survive aggregation (S301's guarantee)
+        a = SimStats(arb_grants=3, arb_reclaims=1, owned_cluster_cycles=400)
+        b = SimStats(arb_grants=2, arb_reclaims=4, owned_cluster_cycles=100)
+        a.merge(b)
+        assert a.arb_grants == 5
+        assert a.arb_reclaims == 5
+        assert a.owned_cluster_cycles == 500
+        assert (b.arb_grants, b.arb_reclaims, b.owned_cluster_cycles) == (
+            2, 4, 100,
+        )
 
     def test_merge_is_associative(self):
         a = SimStats(cycles=10, committed=20)
