@@ -73,6 +73,8 @@ _EXPORTS = {
     "ReproError": ".errors",
     "SimulationError": ".errors",
     "WorkloadError": ".errors",
+    "FaultEvent": ".resilience",
+    "FaultSchedule": ".resilience",
     "JsonlTracer": ".observability",
     "MemoryTracer": ".observability",
     "TraceSession": ".observability",

@@ -3,8 +3,8 @@
 The architecture is a one-directional stack::
 
     errors, timing, _version                     (0)
-    stats, config, faults                        (1)
-    workloads, energy                            (2)
+    stats, config, resilience, observability     (1)
+    workloads, energy, faults                    (2)
     frontend, clusters, interconnect             (3)
     memory                                       (4)
     pipeline                                     (5)
@@ -39,7 +39,12 @@ LAYER_RANKS: Dict[str, int] = {
     "timing": 0,
     "stats": 1,
     "config": 1,
-    "faults": 1,
+    # architectural fault schedules (value objects the pipeline, multiprog
+    # scheduler, and sweep engine all consume; imports only errors)
+    "resilience": 1,
+    # the chaos-harness fault plan re-exports the resilience schedule as a
+    # convenience, so it sits one rank above it
+    "faults": 2,
     # tracing sinks/exporters: a leaf the simulator stack emits into
     # (pipeline and core both import it, so it must sit below rank 5)
     "observability": 1,

@@ -3,14 +3,17 @@
 A parallel sweep is only correct if per-shard statistics merge losslessly
 (S301), and a 20-minute sweep should never die — or worse, silently run a
 default — because of a typo'd keyword or benchmark name that lint could
-have caught (S302/S303).
+have caught (S302/S303).  The trace-event schema is downstream consumers'
+contract, so every kind it declares must be exercised by the
+``validate_event`` tests (S304).
 """
 
 from __future__ import annotations
 
 import ast
+import pathlib
 import re
-from typing import Iterator, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from .context import FileContext, ProjectContext
 from .findings import Finding
@@ -251,3 +254,100 @@ class VocabularyLiteralRule(Rule):
                         f"{sorted(vocab.workloads)}",
                         value=first.value,
                     )
+
+
+@register_rule
+class EventSchemaCoverageRule(Rule):
+    """S304: every trace-event kind must be covered by validate_event tests.
+
+    ``EVENT_FIELDS`` in ``repro/observability/events.py`` is the schema
+    contract for every downstream trace consumer.  A kind counts as
+    covered when a test file that exercises ``validate_event`` either
+    names the kind literally or iterates ``EVENT_FIELDS`` itself (the
+    exhaustive parametrized form — new kinds are then covered by
+    construction, and this rule guards the exhaustive test's existence).
+
+    The test tree is located relative to the *repository root* (walking
+    up from ``events.py``), not the analysed path set, because CI lints
+    only ``src``/``benchmarks``/``examples``.
+    """
+
+    RULE_ID = "S304"
+    RULE_DOC = (
+        "event kind declared in EVENT_FIELDS but never exercised by the "
+        "validate_event tests; the schema contract is untested"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        ctx = project.find_module("repro.observability.events")
+        if ctx is None:
+            return
+        table, kinds = self._event_kinds(ctx)
+        if table is None or not kinds:
+            return
+        sources = self._validate_event_test_sources(ctx.path)
+        if not sources:
+            yield self.finding(
+                ctx, table,
+                "no test file under tests/ exercises validate_event; the "
+                f"{len(kinds)} declared event kinds are untested",
+            )
+            return
+        generic = any("EVENT_FIELDS" in source for source in sources)
+        for kind in sorted(kinds):
+            if generic or any(f'"{kind}"' in s or f"'{kind}'" in s
+                              for s in sources):
+                continue
+            yield self.finding(
+                ctx, kinds[kind],
+                f"event kind {kind!r} is not covered by any validate_event "
+                "test (no literal mention, and no test iterates "
+                "EVENT_FIELDS exhaustively)",
+                kind=kind,
+            )
+
+    @staticmethod
+    def _event_kinds(ctx: FileContext):
+        """The ``EVENT_FIELDS`` assignment node and its kind -> key nodes."""
+        for node in ast.walk(ctx.tree):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            if not any(
+                isinstance(t, ast.Name) and t.id == "EVENT_FIELDS"
+                for t in targets
+            ):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            kinds: Dict[str, ast.AST] = {}
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    kinds[key.value] = key
+            return node, kinds
+        return None, {}
+
+    @staticmethod
+    def _validate_event_test_sources(events_path: pathlib.Path) -> List[str]:
+        """Source text of every tests/**/*.py mentioning validate_event."""
+        for parent in events_path.resolve().parents:
+            tests = parent / "tests"
+            if tests.is_dir():
+                break
+        else:
+            return []
+        sources = []
+        for path in sorted(tests.rglob("*.py")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:  # pragma: no cover - unreadable test file
+                continue
+            if "validate_event" in text:
+                sources.append(text)
+        return sources

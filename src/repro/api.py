@@ -32,6 +32,11 @@ Both speak one keyword vocabulary (:class:`SimSpec`):
     ``"none"``, ``"static-<n>"``, ``"explore"``, ``"no-explore"``,
     ``"finegrain"``, ``"subroutine"``, or an explicit
     :class:`~repro.experiments.sweep.ControllerSpec`.
+``faults``
+    An optional :class:`~repro.resilience.FaultSchedule` of cycle-keyed
+    architectural faults (cluster kills, link severs/degrades, FU
+    disables); the run degrades gracefully and the statistics grow
+    fault/recovery counters (see ``docs/RESILIENCE.md``).
 
 Example::
 
@@ -110,6 +115,10 @@ class SimSpec:
     processor: Optional[ProcessorConfig] = None
     #: steering override: ``("mod-n", 3)`` or ``("first-fit",)``
     steering: Optional[Tuple] = None
+    #: architectural fault schedule (:class:`repro.resilience.FaultSchedule`);
+    #: the run degrades gracefully around the declared faults — see
+    #: ``docs/RESILIENCE.md``
+    faults: Optional[object] = None
     label: str = ""
 
     def resolved_label(self) -> str:
@@ -189,6 +198,7 @@ class SimSpec:
             label=self.resolved_label(),
             steering=self.steering,
             max_instructions=self.max_instructions,
+            faults=self.faults,
         )
 
 
@@ -351,6 +361,7 @@ def simulate(
             steering=steering_factory,
             max_instructions=spec.max_instructions,
             tracer=tracer,
+            fault_schedule=spec.faults,
         )
     finally:
         if session is not None:

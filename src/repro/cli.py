@@ -24,12 +24,14 @@ from typing import List, Optional, Sequence
 from .api import simulate
 from .experiments import (
     fig_multiprog,
+    fig_resilience,
     figure3,
     figure5,
     figure6,
     figure7,
     figure8,
     print_fig_multiprog,
+    print_fig_resilience,
     print_figure3,
     print_figure5,
     print_figure6,
@@ -54,6 +56,7 @@ _EXHIBITS = {
     "table3": (table3, print_table3),
     "table4": (table4, print_table4),
     "fig_multiprog": (fig_multiprog, print_fig_multiprog),
+    "fig_resilience": (fig_resilience, print_fig_resilience),
 }
 
 _MACHINES = ("ring", "grid", "decentralized", "monolithic")
@@ -79,6 +82,11 @@ sweep execution flags (every exhibit command):
 multiprogrammed runs:
   python -m repro fig_multiprog              arbiters x fabrics weighted-speedup
   python -m repro fig_multiprog --benchmarks gzip,swim,mgrid
+
+architectural faults:
+  python -m repro fig_resilience             IPC vs fault rate, topologies x
+                                             controllers (--benchmarks names
+                                             the one carrier benchmark)
 
 other tools:
   python -m repro.analysis [PATH ...]        static-analysis pass: determinism
@@ -217,6 +225,17 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
                 "fig_multiprog co-schedules 2-4 benchmarks, got "
                 f"{len(benchmarks)}: {','.join(benchmarks)}"
             )
+    if name == "fig_resilience":
+        # one carrier benchmark swept across topologies x policies x rates
+        from .experiments.figures import RESILIENCE_BENCH
+
+        if not args.benchmarks:
+            benchmarks = (RESILIENCE_BENCH,)
+        elif len(benchmarks) != 1:
+            raise SystemExit(
+                "fig_resilience takes exactly one carrier benchmark, got "
+                f"{len(benchmarks)}: {','.join(benchmarks)}"
+            )
     runner = SweepRunner(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
         use_cache=not args.no_cache,
@@ -226,11 +245,18 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
         trace_dir=args.trace,
     )
     try:
-        results = generate(
-            benchmarks=benchmarks,
-            trace_length=args.length,
-            runner=runner,
-        )
+        if name == "fig_resilience":
+            results = generate(
+                benchmark=benchmarks[0],
+                trace_length=args.length,
+                runner=runner,
+            )
+        else:
+            results = generate(
+                benchmarks=benchmarks,
+                trace_length=args.length,
+                runner=runner,
+            )
     except SweepInterrupted as interrupt:
         print(f"\n{interrupt}", file=sys.stderr)
         if runner.journal is not None:
@@ -245,6 +271,8 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
         return 1
     if name == "fig_multiprog":
         print(render(results, benchmarks))
+    elif name == "fig_resilience":
+        print(render(results, benchmarks[0]))
     else:
         print(render(results))
     print(f"\n{format_sweep_metrics(runner.metrics)}", file=sys.stderr)

@@ -17,10 +17,14 @@ from typing import List
 from ..config import ClusterConfig
 from ..errors import SimulationError
 from ..workloads.instruction import OpClass
-from .functional_units import FunctionalUnits
+from .functional_units import _POOL_INDEX, _POOL_NAMES, FunctionalUnits
 
 #: indexed by OpClass value: does the op use the FP half of the cluster?
 _IS_FP = tuple(op in (OpClass.FP_ALU, OpClass.FP_MUL) for op in OpClass)
+
+#: steering admission masks, indexed by OpClass value (healthy / dead)
+_ALL_OK = tuple(True for _ in OpClass)
+_NONE_OK = tuple(False for _ in OpClass)
 
 #: wake sentinel: far beyond any reachable simulation cycle
 NEVER = 1 << 60
@@ -41,12 +45,21 @@ class Cluster:
         "_rf_cap",
         "issue_queue",
         "wake_cycle",
+        "live",
+        "steer_ok",
     )
 
     def __init__(self, cid: int, config: ClusterConfig) -> None:
         self.cid = cid
         self.config = config
         self.fus = FunctionalUnits(config)
+        #: architectural-fault state: a dead cluster stays in the machine
+        #: (its in-flight work drains) but admits no new instructions
+        self.live = True
+        #: per-OpClass admission mask consulted by steering; folds both
+        #: liveness and disabled functional-unit pools into one tuple
+        #: lookup on the dispatch fast path
+        self.steer_ok = _ALL_OK
         self._int_iq = 0
         self._fp_iq = 0
         self._int_regs = 0
@@ -143,6 +156,23 @@ class Cluster:
                 self._fp_regs -= 1
             else:
                 self._int_regs -= 1
+
+    def refresh_steer_mask(self, disabled_pools=()) -> None:
+        """Recompute :attr:`steer_ok` from liveness + disabled FU pools.
+
+        Disabling a pool only gates *steering*: instructions already in
+        the issue queue still issue and drain (the advance-warning fault
+        model — the pool is marked failing, not instantly lost).
+        """
+        if not self.live:
+            self.steer_ok = _NONE_OK
+        elif disabled_pools:
+            self.steer_ok = tuple(
+                _POOL_NAMES[_POOL_INDEX[op]] not in disabled_pools
+                for op in OpClass
+            )
+        else:
+            self.steer_ok = _ALL_OK
 
     def reset_for_drain_check(self) -> bool:
         """True if the cluster holds no instructions (fully drained)."""

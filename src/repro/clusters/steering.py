@@ -30,10 +30,12 @@ class SteeringHeuristic:
     def _feasible(
         self, op: OpClass, needs_reg: bool, active: int
     ) -> List[int]:
+        clusters = self.clusters
         return [
             k
             for k in range(active)
-            if self.clusters[k].can_accept(op, needs_reg)
+            if clusters[k].steer_ok[op]
+            and clusters[k].can_accept(op, needs_reg)
         ]
 
     def choose(
@@ -81,18 +83,22 @@ class ProducerSteering(SteeringHeuristic):
     ) -> Optional[int]:
         # hottest function in the simulator (called per dispatch, probing
         # every active cluster): capacity checks are inlined against the
-        # cluster occupancy counters instead of going through can_accept
+        # cluster occupancy counters instead of going through can_accept;
+        # steer_ok folds liveness + FU faults into one tuple lookup
         clusters = self.clusters
         needs_reg = instr.has_dest
+        op = instr.op
         feasible: List[int] = []
         append = feasible.append
         k = 0
-        if _IS_FP[instr.op]:
+        if _IS_FP[op]:
             for c in clusters:
                 if k >= active:
                     break
-                if c._fp_iq < c._iq_cap and (
-                    not needs_reg or c._fp_regs < c._rf_cap
+                if (
+                    c.steer_ok[op]
+                    and c._fp_iq < c._iq_cap
+                    and (not needs_reg or c._fp_regs < c._rf_cap)
                 ):
                     append(k)
                 k += 1
@@ -100,8 +106,10 @@ class ProducerSteering(SteeringHeuristic):
             for c in clusters:
                 if k >= active:
                     break
-                if c._int_iq < c._iq_cap and (
-                    not needs_reg or c._int_regs < c._rf_cap
+                if (
+                    c.steer_ok[op]
+                    and c._int_iq < c._iq_cap
+                    and (not needs_reg or c._int_regs < c._rf_cap)
                 ):
                     append(k)
                 k += 1

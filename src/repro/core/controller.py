@@ -60,6 +60,11 @@ class ReconfigurationController:
     def on_dispatch(self, instr: Instr, cycle: int) -> None:
         """Called once per dispatched instruction (opt-in)."""
 
+    def on_fault(self, event, cycle: int) -> None:
+        """Called after an architectural fault event is applied (see
+        :mod:`repro.resilience`).  Default: nothing — static policies
+        simply live on the remapped machine."""
+
 
 class StaticController(ReconfigurationController):
     """Fixes the active cluster count once at the start of the run.
@@ -124,6 +129,14 @@ class IntervalController(ReconfigurationController):
                     distant=window.distant_commits,
                 )
             self.on_interval(window, cycle)
+
+    def on_fault(self, event, cycle: int) -> None:
+        """The machine changed shape mid-interval, so the window's counters
+        mix measurements from two different machines; restart the interval
+        boundary cleanly."""
+        self._since_boundary = 0
+        if self._tracker is not None:
+            self._tracker.since_last()
 
     def on_interval(self, window, cycle: int) -> None:
         raise NotImplementedError

@@ -155,6 +155,21 @@ class FineGrainController(ReconfigurationController):
             self._misses_at_flush = self.table_misses
             self.table.flush()
 
+    def on_fault(self, event, cycle: int) -> None:
+        """Table advice was learned on the healthy machine; drop it and
+        relearn against the degraded one (the regular periodic flush in
+        miniature)."""
+        if self.tracer.enabled:
+            self._trace(
+                "table_flush",
+                entries=len(self.table),
+                hits=self.table_hits - self._hits_at_flush,
+                misses=self.table_misses - self._misses_at_flush,
+            )
+        self._hits_at_flush = self.table_hits
+        self._misses_at_flush = self.table_misses
+        self.table.flush()
+
     # ------------------------------------------------------------------
     # reconfiguration side (dispatch stream)
 

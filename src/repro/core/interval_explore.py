@@ -151,6 +151,13 @@ class IntervalExploreController(IntervalController):
                 self._reinitialize()
         self._macro_ref = window
 
+    def on_fault(self, event, cycle: int) -> None:
+        """Exploration results measured on the old machine shape are
+        meaningless on the new one: restart the whole algorithm, exactly
+        like a macrophase change (Figure 4's re-initialization)."""
+        super().on_fault(event, cycle)
+        self._reinitialize()
+
     def _reinitialize(self) -> None:
         """Figure 4: a new macrophase re-initializes every variable,
         including the adapted interval length and the give-up flag."""

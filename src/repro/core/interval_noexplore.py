@@ -102,6 +102,13 @@ class DistantILPController(IntervalController):
             self._trace("measure_start", settle=self._settle_left)
         self.processor.set_active_clusters(self._large, reason="measure")
 
+    def on_fault(self, event, cycle: int) -> None:
+        """Re-measure the distant-ILP content on the degraded machine (the
+        previous decision was made against hardware that no longer
+        exists)."""
+        super().on_fault(event, cycle)
+        self._enter_measurement()
+
     def on_interval(self, window: IntervalWindow, cycle: int) -> None:
         if self._state == self._MEASURING:
             if self._settle_left > 0:

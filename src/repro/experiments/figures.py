@@ -494,6 +494,181 @@ def fig_multiprog(
     return table
 
 
+# ----------------------------------------------------------------------
+# fig_resilience: graceful degradation under architectural faults
+
+
+#: topologies the resilience exhibit degrades (all reroute around faults;
+#: ring-of-rings is covered by the conformance suite instead)
+RESILIENCE_TOPOLOGIES = ("ring", "grid", "torus", "decentralized")
+
+#: controller families compared under fault injection
+RESILIENCE_POLICIES = ("none", "explore")
+
+#: injected-fault counts per run (the x axis)
+RESILIENCE_RATES = (0, 1, 2, 4)
+
+#: the benchmark carrying the exhibit (communication-sensitive, so link
+#: faults are visible, with enough ILP that cluster kills cost IPC)
+RESILIENCE_BENCH = "gzip"
+
+_RESILIENCE_CONFIGS = {
+    "ring": default_config,
+    "grid": grid_config,
+    "torus": torus_config,
+    "ring-of-rings": ring_of_rings_config,
+    "decentralized": decentralized_config,
+}
+
+_RESILIENCE_POLICY_SPECS = {
+    "none": ControllerSpec.none,
+    "static-4": lambda: ControllerSpec.static(4),
+    "explore": ControllerSpec.explore,
+    "no-explore": ControllerSpec.no_explore,
+    "finegrain": ControllerSpec.finegrain,
+}
+
+
+def resilience_schedule(
+    topology: str, rate: int, trace_length: int, seed: int
+):
+    """The seeded fault schedule of one exhibit cell (None at rate 0).
+
+    Draws cluster kills, FU disables, and link degrades; link endpoints
+    come from the topology's own link table, so every generated fault is
+    valid on that fabric.  The window sits early in the run
+    (``[length/32, length/8]`` cycles) so even high-IPC configurations
+    spend most of the measured region degraded.
+    """
+    if rate == 0:
+        return None
+    from ..interconnect.network import build_topology
+    from ..resilience import FaultSchedule
+
+    config = _RESILIENCE_CONFIGS[topology](16)
+    endpoints = build_topology(
+        config.interconnect, config.num_clusters
+    ).link_endpoints()
+    links = sorted(set(endpoints.values()))[:8]
+    return FaultSchedule.seeded(
+        seed + rate,
+        cycles=trace_length,
+        num_clusters=config.num_clusters,
+        faults=rate,
+        kinds=("cluster", "fu", "link"),
+        home_cluster=config.home_cluster,
+        links=links,
+        window=(max(1, trace_length // 32), max(2, trace_length // 8)),
+    )
+
+
+def fig_resilience(
+    benchmark: str = RESILIENCE_BENCH,
+    trace_length: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
+    topologies: Sequence[str] = RESILIENCE_TOPOLOGIES,
+    policies: Sequence[str] = RESILIENCE_POLICIES,
+    rates: Sequence[int] = RESILIENCE_RATES,
+) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    """IPC vs. injected-fault rate across topologies x controllers.
+
+    Every (topology, policy, rate) cell runs ``benchmark`` with a seeded
+    :class:`~repro.resilience.FaultSchedule` of ``rate`` faults (rate 0
+    is the healthy baseline).  Measurement starts at cycle 0 — the
+    degraded region *is* the measurement, so there is no warmup to hide
+    it in.  Returns ``{topology: {policy: {"faults=N": metrics}}}`` with
+    ``ipc``, ``degraded_frac`` (fraction of cycles spent degraded),
+    ``recovery_cycles`` (summed kill-to-remap latency), and
+    ``faults_injected``.
+    """
+    runner = runner or _serial_runner()
+    length = trace_length if trace_length is not None else scaled_length()
+    topologies = tuple(topologies)
+    policies = tuple(policies)
+    rates = tuple(rates)
+
+    specs: List[RunSpec] = []
+    for topology in topologies:
+        for policy in policies:
+            for rate in rates:
+                specs.append(
+                    RunSpec(
+                        profile=benchmark,
+                        trace_length=length,
+                        seed=seed,
+                        config=_RESILIENCE_CONFIGS[topology](16),
+                        controller=_RESILIENCE_POLICY_SPECS[policy](),
+                        warmup=0,
+                        label=f"{topology}/{policy}/{rate}",
+                        faults=resilience_schedule(
+                            topology, rate, length, seed
+                        ),
+                    )
+                )
+    records = require_ok(runner.run(specs))
+
+    table: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for record in records:
+        topology, policy, rate = record.spec.label.split("/")
+        stats = record.result.stats
+        cycles = max(1, stats.cycles)
+        table.setdefault(topology, {}).setdefault(policy, {})[
+            f"faults={rate}"
+        ] = {
+            "ipc": record.result.ipc,
+            "degraded_frac": stats.degraded_cycles / cycles,
+            "recovery_cycles": float(stats.recovery_cycles),
+            "faults_injected": float(stats.faults_injected),
+        }
+    return table
+
+
+def print_fig_resilience(
+    results: Mapping[str, Mapping[str, Mapping[str, Mapping[str, float]]]],
+    benchmark: str = RESILIENCE_BENCH,
+) -> str:
+    from .reporting import format_table
+
+    blocks = []
+    degraded: Dict[str, Dict[str, float]] = {}
+    for topology, by_policy in results.items():
+        policies = list(by_policy)
+        rate_labels: List[str] = []
+        for policy in policies:
+            for label in by_policy[policy]:
+                if label not in rate_labels:
+                    rate_labels.append(label)
+        blocks.append(
+            format_table(
+                ["policy"] + rate_labels,
+                [
+                    [p] + [by_policy[p][r]["ipc"] for r in rate_labels]
+                    for p in policies
+                ],
+                f"fig_resilience: {benchmark} IPC on {topology} vs injected "
+                "faults",
+            )
+        )
+        first = policies[0]
+        degraded[topology] = {
+            r: by_policy[first][r]["degraded_frac"] for r in rate_labels
+        }
+    rate_labels = list(next(iter(degraded.values())))
+    blocks.append(
+        format_table(
+            ["topology"] + rate_labels,
+            [
+                [t] + [degraded[t][r] for r in rate_labels]
+                for t in degraded
+            ],
+            "degraded-cycle fraction (policy: "
+            f"{next(iter(next(iter(results.values()))))})",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
 def print_fig_multiprog(
     results: Mapping[str, Mapping[str, Mapping[str, float]]],
     benchmarks: Sequence[str] = MULTIPROG_MIX,

@@ -68,6 +68,7 @@ def run_trace(
     steering: Optional[Callable[[object], object]] = None,
     max_instructions: Optional[int] = None,
     tracer: Optional[object] = None,
+    fault_schedule: Optional[object] = None,
 ) -> RunResult:
     """Simulate a trace and report post-warmup steady-state metrics.
 
@@ -80,7 +81,10 @@ def run_trace(
     (commit-bounded: see :meth:`ClusteredProcessor.run`), counted from the
     start of the trace, warmup included.  ``tracer`` (a
     :class:`repro.observability.Tracer`) observes the run passively; the
-    statistics are bit-identical with or without one.
+    statistics are bit-identical with or without one.  ``fault_schedule``
+    (a :class:`repro.resilience.FaultSchedule`) injects cycle-scheduled
+    architectural faults; unlike tracing it is *not* passive — it is part
+    of the run's identity, exactly like the config.
     """
     if args:
         # pre-facade spelling: run_trace(trace, config, controller, warmup, label)
@@ -100,7 +104,9 @@ def run_trace(
         warmup = defaults["warmup"]
         label = defaults["label"]
         steering = defaults["steering"]
-    processor = ClusteredProcessor(trace, config, controller, tracer=tracer)
+    processor = ClusteredProcessor(
+        trace, config, controller, tracer=tracer, fault_schedule=fault_schedule
+    )
     if steering is not None:
         processor.steering = steering(processor.clusters)
     warmup = min(warmup, max(0, len(trace) - 1000))

@@ -213,6 +213,10 @@ class RunSpec:
     #: of a single-thread simulation; build such specs with
     #: :func:`multiprog_run_spec` so the redundant fields stay consistent
     multiprog: Optional[MultiProgSpec] = None
+    #: architectural fault schedule (:class:`repro.resilience.FaultSchedule`)
+    #: applied to the run; part of the cache key — a faulted run is a
+    #: different machine, never interchangeable with the healthy one
+    faults: Optional[object] = None
 
     def cache_key(self) -> str:
         """Stable content hash of the run's inputs plus the code version."""
@@ -231,6 +235,7 @@ class RunSpec:
                 f"record={self.record_granularity!r}",
                 f"max_instructions={self.max_instructions!r}",
                 f"multiprog={self.multiprog!r}",
+                f"faults={self.faults!r}",
             )
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -403,6 +408,7 @@ def _run_spec(spec: RunSpec) -> RunRecord:
         label=spec.label,
         steering=steering,
         max_instructions=spec.max_instructions,
+        fault_schedule=spec.faults,
     )
     return RunRecord(
         spec=spec,

@@ -33,6 +33,12 @@ every hook is a no-op costing one ``dict`` lookup.
 Crashing is refused in the process that armed the plan (``main_pid``):
 a ``crash_profiles`` entry executed in-process (``jobs=1``) degrades to a
 raised :class:`FaultInjected` instead of killing the test runner.
+
+This module also re-exports :class:`~repro.resilience.FaultSchedule` /
+:class:`~repro.resilience.FaultEvent` — the *architectural* fault model
+(cluster kills, link severs, functional-unit faults simulated inside the
+machine) — so chaos tests can source both harness-level and
+architecture-level fault vocabulary from one place.
 """
 
 from __future__ import annotations
@@ -44,6 +50,18 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional, Tuple
 
 from .errors import FaultInjected
+from .resilience import FaultEvent, FaultSchedule
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_PLAN_ENV",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSchedule",
+    "active_plan",
+    "clear_fault_plan",
+    "set_fault_plan",
+]
 
 #: environment variable carrying the active plan as JSON
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -73,10 +91,59 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
+        """Strict parse of a ``REPRO_FAULT_PLAN`` payload.
+
+        Unknown keys and wrong-typed fields raise :class:`ValueError`
+        naming the offending key, so a typo in a chaos-test plan fails
+        loudly at arm time instead of silently injecting nothing.
+        (:func:`active_plan` still degrades a malformed *inherited*
+        environment value to "no plan" — the harness must never be its
+        own fault — but the error message reaches the test log.)
+        """
         data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_PLAN_FIELD_TYPES))
+        if unknown:
+            raise ValueError(f"unknown fault plan key {unknown[0]!r}")
+        for key, (types, label) in _PLAN_FIELD_TYPES.items():
+            if key not in data:
+                continue
+            value = data[key]
+            if not isinstance(value, types) or isinstance(value, bool) != (
+                types is bool
+            ):
+                raise ValueError(
+                    f"fault plan key {key!r} must be {label}, got "
+                    f"{type(value).__name__}"
+                )
+            if types is list:
+                for item in value:
+                    if not isinstance(item, str):
+                        raise ValueError(
+                            f"fault plan key {key!r} must be {label}, got "
+                            f"a {type(item).__name__} element"
+                        )
         for key in ("crash_profiles", "fail_profiles", "hang_profiles", "nan_profiles"):
             data[key] = tuple(data.get(key) or ())
         return cls(**data)
+
+
+#: JSON field -> (accepted type(s) for isinstance, human-readable label);
+#: list fields additionally require every element to be a string
+_PLAN_FIELD_TYPES = {
+    "crash_profiles": (list, "a list of profile names"),
+    "crash_token_dir": ((str, type(None)), "a directory path or null"),
+    "fail_profiles": (list, "a list of profile names"),
+    "hang_profiles": (list, "a list of profile names"),
+    "hang_seconds": ((int, float), "a number of seconds"),
+    "nan_profiles": (list, "a list of profile names"),
+    "corrupt_cache_writes": (bool, "a boolean"),
+    "scramble_topology": (bool, "a boolean"),
+    "main_pid": (int, "a process id"),
+}
 
 
 _ACTIVE: Optional[FaultPlan] = None

@@ -1,0 +1,83 @@
+"""Rerouted topology view after link-sever faults.
+
+A :class:`DegradedTopology` wraps a healthy base topology minus a set of
+severed directed links, and recomputes *all* routes as BFS shortest paths
+over the surviving links.  The base link-id space is preserved (severed
+ids simply go unused), so the network's per-link contention state carries
+over unchanged across a sever.
+
+Routing a pair with no surviving path raises
+:class:`~repro.errors.UnreachableCluster` — a partitioned fabric is an
+unsurvivable fault for this machine model (every cluster must reach the
+home cluster's front end and L2), and inventing a latency would silently
+corrupt every downstream statistic.
+
+Determinism: adjacency lists are ordered by link id and BFS expands
+nodes in insertion order, so equal-length route ties always resolve the
+same way on every platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from ..errors import UnreachableCluster
+from .topology import Topology
+
+
+class DegradedTopology(Topology):
+    """``base`` minus ``dead_links``, rerouted (see module docstring)."""
+
+    def __init__(self, base: Topology, dead_links: Set[int]) -> None:
+        super().__init__(base.num_nodes)
+        self.base = base
+        self._endpoints: Dict[int, Tuple[int, int]] = {
+            link: ends
+            for link, ends in base.link_endpoints().items()
+            if link not in dead_links
+        }
+        adjacency: Dict[int, list] = {n: [] for n in range(self.num_nodes)}
+        for link, (src, dst) in sorted(self._endpoints.items()):
+            adjacency[src].append((dst, link))
+        self._routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for src in range(self.num_nodes):
+            prev: Dict[int, Tuple[int, int]] = {src: (-1, -1)}
+            frontier = [src]
+            while frontier:
+                nxt = []
+                for node in frontier:
+                    for neighbour, link in adjacency[node]:
+                        if neighbour not in prev:
+                            prev[neighbour] = (node, link)
+                            nxt.append(neighbour)
+                frontier = nxt
+            for dst in prev:
+                if dst == src:
+                    continue
+                path = []
+                node = dst
+                while node != src:
+                    node, link = prev[node]
+                    path.append(link)
+                self._routes[(src, dst)] = tuple(reversed(path))
+
+    @property
+    def num_links(self) -> int:
+        # the base id space: severed ids go unused but stay allocated, so
+        # the network's per-link contention reservations survive a sever
+        return self.base.num_links
+
+    def route(self, src: int, dst: int) -> Sequence[int]:
+        self._check(src, dst)
+        if src == dst:
+            return ()
+        found = self._routes.get((src, dst))
+        if found is None:
+            raise UnreachableCluster(
+                f"no surviving route from cluster {src} to {dst}: link "
+                "faults have partitioned the interconnect"
+            )
+        return found
+
+    def link_endpoints(self) -> Dict[int, Tuple[int, int]]:
+        return dict(self._endpoints)

@@ -14,13 +14,14 @@ communication by 11%").
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Set
 
 from ..config import InterconnectConfig
 from ..errors import ConfigError
 from ..faults import scrambled_topology
 from ..stats import SimStats
 from ..timing import SlotReserver
+from .degraded import DegradedTopology
 from .grid import GridTopology
 from .hierring import HierRingTopology
 from .ring import RingTopology
@@ -63,16 +64,113 @@ class Network:
         #: counters so the invariant checker can verify conservation (every
         #: scheduled message accounted exactly once in the statistics)
         self.messages_sent = 0
+        #: link-fault state (see :mod:`repro.resilience`): the healthy
+        #: topology is kept; ``topology`` swaps to a rerouted
+        #: :class:`DegradedTopology` view only while severs exist
+        self._base_topology = self.topology
+        self._dead_links: Set[int] = set()
+        #: directed link id -> degraded traversal latency (replaces
+        #: ``hop_latency`` on that link)
+        self._degraded_links: Dict[int, int] = {}
+        #: per-link latency table, or None while all links are healthy
+        #: (the hot paths branch on this one reference)
+        self._link_latency: Optional[List[int]] = None
 
     def reset_contention(self) -> None:
         """Forget all link reservations (used when the pipeline is flushed)."""
         self._links.reset()
 
+    # -- link faults (driven by repro.resilience.FaultManager) ---------
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self._dead_links or self._degraded_links)
+
+    def _wire_links(self, src: int, dst: int) -> List[int]:
+        """Both directed link ids of the physical wire between two nodes."""
+        found = [
+            link
+            for link, ends in self._base_topology.link_endpoints().items()
+            if ends == (src, dst) or ends == (dst, src)
+        ]
+        return sorted(found)
+
+    def require_link(self, src: int, dst: int) -> None:
+        """Raise unless a physical link joins ``src`` and ``dst``."""
+        if not self._wire_links(src, dst):
+            raise ConfigError(
+                f"no {self.config.topology} link joins clusters {src} and "
+                f"{dst}; link faults must name physical neighbours"
+            )
+
+    def sever_link(self, src: int, dst: int) -> bool:
+        """Remove the wire from routing; False if already severed."""
+        links = self._wire_links(src, dst)
+        if not links:
+            raise ConfigError(f"no link joins clusters {src} and {dst}")
+        if set(links) <= self._dead_links:
+            return False
+        self._dead_links.update(links)
+        self._rebuild()
+        return True
+
+    def degrade_link(self, src: int, dst: int, factor: int) -> bool:
+        """Multiply the wire's traversal latency; False if unchanged."""
+        links = self._wire_links(src, dst)
+        if not links:
+            raise ConfigError(f"no link joins clusters {src} and {dst}")
+        latency = self.config.hop_latency * factor
+        changed = False
+        for link in links:
+            if self._degraded_links.get(link) != latency:
+                self._degraded_links[link] = latency
+                changed = True
+        if changed:
+            self._rebuild()
+        return changed
+
+    def restore_link(self, src: int, dst: int) -> bool:
+        """Undo sever/degrade on the wire; False if it was healthy."""
+        links = self._wire_links(src, dst)
+        if not links:
+            raise ConfigError(f"no link joins clusters {src} and {dst}")
+        changed = False
+        for link in links:
+            if link in self._dead_links:
+                self._dead_links.discard(link)
+                changed = True
+            if self._degraded_links.pop(link, None) is not None:
+                changed = True
+        if changed:
+            self._rebuild()
+        return changed
+
+    def _rebuild(self) -> None:
+        """Re-derive the routing view and latency table from fault state."""
+        if self._dead_links:
+            self.topology = DegradedTopology(
+                self._base_topology, self._dead_links
+            )
+        else:
+            self.topology = self._base_topology
+        if self._degraded_links:
+            table = [self.config.hop_latency] * self._base_topology.num_links
+            for link, latency in self._degraded_links.items():
+                table[link] = latency
+            self._link_latency = table
+        else:
+            self._link_latency = None
+
+    # -- latency -------------------------------------------------------
+
     def hops(self, src: int, dst: int) -> int:
         return self.topology.hops(src, dst)
 
     def uncontended_latency(self, src: int, dst: int) -> int:
-        return self.topology.hops(src, dst) * self.config.hop_latency
+        table = self._link_latency
+        if table is None:
+            return self.topology.hops(src, dst) * self.config.hop_latency
+        return sum(table[link] for link in self.topology.route(src, dst))
 
     def transfer(
         self, src: int, dst: int, start_cycle: int, kind: str = "register"
@@ -95,9 +193,14 @@ class Network:
         if cfg.model_contention:
             ready = start_cycle
             reserve = self._links.reserve
-            hop_latency = cfg.hop_latency
-            for link in self.topology.route(src, dst):
-                ready = reserve(link, ready) + hop_latency
+            table = self._link_latency
+            if table is None:
+                hop_latency = cfg.hop_latency
+                for link in self.topology.route(src, dst):
+                    ready = reserve(link, ready) + hop_latency
+            else:
+                for link in self.topology.route(src, dst):
+                    ready = reserve(link, ready) + table[link]
             arrival = ready
         else:
             arrival = start_cycle + self.uncontended_latency(src, dst)
@@ -129,7 +232,15 @@ class Network:
         arrivals: Dict[int, int] = {src: start_cycle}
         if kind == "memory" and self.config.free_memory_communication:
             return {k: start_cycle for k in range(n)}
-        if isinstance(self.topology, RingTopology) and n > 1:
+        # the circulating fast path assumes the intact ring with uniform
+        # link latency; any link fault falls back to per-destination
+        # transfers (a sever also swaps in DegradedTopology, failing the
+        # isinstance check)
+        if (
+            isinstance(self.topology, RingTopology)
+            and self._link_latency is None
+            and n > 1
+        ):
             hop = self.config.hop_latency
             contend = self.config.model_contention
             for direction, link_of in (

@@ -46,10 +46,13 @@ class DistributedLSQ:
     def can_allocate_load(self, cluster: int) -> bool:
         return self._occupancy[cluster] < self.capacity
 
-    def can_allocate_store(self, active_clusters: int) -> bool:
-        return all(
-            self._occupancy[k] < self.capacity for k in range(active_clusters)
-        )
+    def can_allocate_store(self, banks) -> bool:
+        """``banks`` is the dispatch-eligible bank clusters: an iterable of
+        cluster ids, or an int meaning the healthy prefix ``range(n)``."""
+        if isinstance(banks, int):
+            banks = range(banks)
+        occupancy = self._occupancy
+        return all(occupancy[k] < self.capacity for k in banks)
 
     def tick(self, cycle: int) -> None:
         """Free dummy slots whose broadcast has arrived by ``cycle``."""
@@ -67,13 +70,16 @@ class DistributedLSQ:
         self._occupancy[access.cluster] += 1
         self._held[access.index] = [access.cluster]
 
-    def allocate_store(self, access: MemAccess, active_clusters: int) -> None:
-        if not self.can_allocate_store(active_clusters):
+    def allocate_store(self, access: MemAccess, banks) -> None:
+        """Occupy a dummy slot in every bank's slice (int = ``range(n)``)."""
+        if isinstance(banks, int):
+            banks = range(banks)
+        held = list(banks)
+        if not self.can_allocate_store(held):
             raise SimulationError("distributed LSQ store allocate on full slice")
         self._entries[access.index] = access
         self._stores[access.index] = access
         self._unresolved_stores.add(access.index)
-        held = list(range(active_clusters))
         for k in held:
             self._occupancy[k] += 1
         self._held[access.index] = held

@@ -12,8 +12,10 @@ backed by a 160-cycle memory (Table 1).  The processor talks to a
   disambiguation, and cache access, and later reports load completions;
 * ``drain_completions()`` — (instr_index, data_ready_cycle) pairs;
 * ``commit(index, cycle)`` — retire the LSQ entry (stores write the cache);
-* ``set_active_clusters(n, cycle)`` — reconfiguration hook; the
-  decentralized cache must flush (returns the stall in cycles).
+* ``set_banks(banks, cycle)`` — reconfiguration/fault hook naming the
+  dispatch-eligible bank clusters; the decentralized cache must flush
+  (returns the stall in cycles).  ``set_active_clusters(n, cycle)`` is the
+  healthy-prefix shorthand ``set_banks(range(n), cycle)``.
 """
 
 from __future__ import annotations
@@ -113,10 +115,18 @@ class MemorySystem:
     def tick(self, cycle: int) -> None:
         """Per-cycle housekeeping (default: none)."""
 
-    def set_active_clusters(self, n: int, cycle: int) -> int:
-        """Change the active-cluster count; returns stall cycles."""
-        self.active_clusters = n
+    def set_banks(self, banks, cycle: int) -> int:
+        """Remap the dispatch-eligible bank clusters; returns stall cycles.
+
+        ``banks`` is an iterable of cluster ids (sorted, non-empty).  The
+        centralized organization keeps all data at home, so only the
+        count matters to it."""
+        self.active_clusters = len(tuple(banks))
         return 0
+
+    def set_active_clusters(self, n: int, cycle: int) -> int:
+        """Healthy-prefix shorthand for :meth:`set_banks`."""
+        return self.set_banks(range(n), cycle)
 
 
 class CentralizedMemory(MemorySystem):
@@ -216,10 +226,16 @@ class DecentralizedMemory(MemorySystem):
         self._pred_tokens: Dict[int, tuple] = {}
         #: byte interleave across banks (Table 2: 8-byte lines/banks)
         self.interleave = l1.line_size
+        #: dispatch-eligible bank clusters, in id order.  Healthy machines
+        #: use the prefix 0..active-1 (making ``banks[x % len]`` identical
+        #: to the historical ``x % active``); after a cluster fault the
+        #: list skips the dead clusters.
+        self._banks = tuple(range(config.num_clusters))
 
     # -- mapping -------------------------------------------------------
     def bank_cluster(self, addr: int) -> int:
-        return (addr // self.interleave) % self.active_clusters
+        banks = self._banks
+        return banks[(addr // self.interleave) % len(banks)]
 
     def full_bank(self, addr: int) -> int:
         return (addr // self.interleave) % self.config.num_clusters
@@ -233,12 +249,12 @@ class DecentralizedMemory(MemorySystem):
             self._pred_tokens[instr.index] = (predicted, tok)
         else:
             predicted = token[0]
-        return predicted % self.active_clusters
+        return self._banks[predicted % len(self._banks)]
 
     # -- dispatch ------------------------------------------------------
     def can_dispatch(self, instr: Instr) -> bool:
         if instr.is_store:
-            return self.lsq.can_allocate_store(self.active_clusters)
+            return self.lsq.can_allocate_store(self._banks)
         # loads allocate where they are steered; be conservative and
         # require a free slot in the predicted cluster
         target = self.preferred_cluster(instr)
@@ -248,7 +264,7 @@ class DecentralizedMemory(MemorySystem):
         self._cluster_of[instr.index] = cluster
         access = MemAccess(instr.index, cluster, instr.addr, instr.is_store)
         if instr.is_store:
-            self.lsq.allocate_store(access, self.active_clusters)
+            self.lsq.allocate_store(access, self._banks)
         else:
             self.lsq.allocate_load(access)
 
@@ -260,17 +276,17 @@ class DecentralizedMemory(MemorySystem):
         pending = self._pred_tokens.get(instr.index)
         if pending is not None:
             predicted, _token = pending
-            if predicted % self.active_clusters != actual:
+            if self._banks[predicted % len(self._banks)] != actual:
                 self.stats.bank_mispredictions += 1
         elif cluster != actual:
             self.stats.bank_mispredictions += 1
 
         if instr.is_store:
-            # broadcast the address to every active cluster's LSQ slice
+            # broadcast the address to every active bank's LSQ slice
             # (a circulating ring broadcast, one link-traversal per link)
             all_arrivals = self.network.broadcast_arrivals(cluster, cycle, kind="memory")
             arrivals = {
-                k: all_arrivals.get(k, cycle) for k in range(self.active_clusters)
+                k: all_arrivals.get(k, cycle) for k in self._banks
             }
             self.stats.store_broadcasts += 1
             self.lsq.store_address_ready(instr.index, actual, arrivals)
@@ -330,16 +346,18 @@ class DecentralizedMemory(MemorySystem):
     def tick(self, cycle: int) -> None:
         self.lsq.tick(cycle)
 
-    # -- reconfiguration -----------------------------------------------
-    def set_active_clusters(self, n: int, cycle: int) -> int:
-        """Changing the bank count remaps data to physical lines, so the L1
+    # -- reconfiguration / fault remap ---------------------------------
+    def set_banks(self, banks, cycle: int) -> int:
+        """Changing the bank set remaps data to physical lines, so the L1
         must be flushed to L2 (Section 5).  Returns the stall in cycles.
 
-        The bank predictor is *not* flushed: with fewer clusters the
-        low-order bits of the 16-wide prediction remain correct."""
-        if n == self.active_clusters:
+        The bank predictor is *not* flushed: the raw 16-wide prediction
+        stays valid and is folded onto the current bank list at use."""
+        banks = tuple(banks)
+        if banks == self._banks:
             return 0
-        self.active_clusters = n
+        self._banks = banks
+        self.active_clusters = len(banks)
         writebacks = 0
         for cache in self.bank_caches:
             writebacks += cache.flush()

@@ -79,6 +79,17 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # the arbiter reclaimed a cluster from a thread (it drains before it
     # becomes grantable); ``owned`` is the count after the reclaim
     "arb_reclaim": ("thread", "cluster", "arbiter", "owned"),
+    # -- resilience/manager.py ------------------------------------------
+    # an architectural fault event was applied; ``fault`` is the event
+    # kind, ``target`` the stable label ("cluster:3", "link:2->3",
+    # "fu:3:int_alu")
+    "fault_inject": ("fault", "target"),
+    # a cluster kill began the drain-and-remap sequence; ``live`` is the
+    # number of live clusters after the kill
+    "remap_start": ("target", "live"),
+    # the killed cluster finished draining; ``latency`` is the recovery
+    # latency in cycles since the kill
+    "remap_done": ("target", "latency"),
 }
 
 

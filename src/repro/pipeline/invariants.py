@@ -30,7 +30,17 @@ cycle/instruction context when one fails:
   does.
 * **Rate sanity** — ``committed <= issued <= dispatched``, IPC within
   ``(0, commit_width]``, never NaN, and active-cluster accounting within
-  ``num_clusters x cycles``.
+  ``num_clusters x cycles``.  Under architectural faults
+  (:mod:`repro.resilience`) the accounting is liveness-aware: the
+  effective active count must equal the live clusters inside the dispatch
+  window, so an *intentionally* disabled cluster never false-positives
+  while a drifted fault remap still fails.
+
+Architectural link faults re-arm the route-table walk (the
+:class:`~repro.resilience.manager.FaultManager` clears the one-shot flag
+after every reroute); pairs partitioned by severed links are skipped —
+unreachability is a legitimate degraded state, reported at transfer time
+as :class:`~repro.errors.UnreachableCluster`.
 
 Checking is pure observation: it reads state, never mutates it, so a run
 with checking on is bit-identical to the same run with checking off.
@@ -45,7 +55,7 @@ import math
 from typing import TYPE_CHECKING
 
 from ..config import env_flag
-from ..errors import SimulationError
+from ..errors import SimulationError, UnreachableCluster
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import ProcessorConfig
@@ -166,7 +176,12 @@ class InvariantChecker:
             for dst in range(topology.num_nodes):
                 if src == dst:
                     continue
-                route = list(topology.route(src, dst))
+                try:
+                    route = list(topology.route(src, dst))
+                except UnreachableCluster:
+                    # severed links partitioned this pair; the error is
+                    # raised (correctly) at transfer time instead
+                    continue
                 at = src
                 for link in route:
                     if link not in endpoints:
@@ -244,3 +259,18 @@ class InvariantChecker:
                 f"cluster-cycle product {s.cluster_cycle_product} outside "
                 f"[0, {limit}]",
             )
+        # liveness-aware accounting: intentionally-disabled (fault-killed)
+        # clusters must be excluded from the effective count — equality
+        # holds on healthy machines too, where every cluster is live
+        effective = getattr(p, "effective_active_clusters", None)
+        if effective is not None:
+            live = sum(
+                1 for c in p.clusters[: p.active_clusters] if c.live
+            )
+            if effective != live:
+                self._fail(
+                    "rates",
+                    f"effective active clusters {effective} != {live} live "
+                    f"clusters inside the {p.active_clusters}-cluster "
+                    "dispatch window — fault remap drifted",
+                )

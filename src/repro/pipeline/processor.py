@@ -30,6 +30,7 @@ from ..frontend.fetch import FetchUnit
 from ..interconnect.network import Network
 from ..memory.hierarchy import build_memory
 from ..observability.tracer import NULL_TRACER, Tracer
+from ..resilience.manager import FaultManager
 from ..stats import SimStats
 from ..workloads.instruction import Instr, OpClass, Trace
 from .invariants import InvariantChecker, invariants_enabled
@@ -59,6 +60,7 @@ class ClusteredProcessor:
         *,
         naive_issue: bool = False,
         tracer: Optional[Tracer] = None,
+        fault_schedule: Optional[object] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -72,7 +74,13 @@ class ClusteredProcessor:
         self.rob = ReorderBuffer(config.rob_size)
 
         self.cycle = 0
+        #: what the controller last asked for (its view of the machine)
+        self._logical_active = config.num_clusters
+        #: physical dispatch window: steering probes clusters [0, bound)
         self.active_clusters = config.num_clusters
+        #: live clusters inside the window (the cluster-cycle integral);
+        #: equals the other two on a healthy machine
+        self.effective_active_clusters = config.num_clusters
         self._records: Dict[int, InFlight] = {}
         #: (cluster, finish_cycle) of committed producers, for late consumers
         self._done: Dict[int, Tuple[int, int]] = {}
@@ -122,6 +130,15 @@ class ClusteredProcessor:
         #: with checking on or off); see :mod:`repro.pipeline.invariants`
         self.invariants = InvariantChecker(self) if invariants_enabled(config) else None
 
+        #: architectural fault injection (see :mod:`repro.resilience`):
+        #: polled with a single integer compare per cycle, so a run with
+        #: no schedule is bit-identical to one built without the feature
+        self._fault_manager: Optional[FaultManager] = None
+        self._next_fault = _NEVER
+        if fault_schedule:
+            self._fault_manager = FaultManager(fault_schedule, self)
+            self._next_fault = self._fault_manager.next_cycle
+
     # ------------------------------------------------------------------
     # reconfiguration interface (used by controllers)
 
@@ -134,14 +151,14 @@ class ClusteredProcessor:
             )
 
     def set_active_clusters(self, n: int, reason: str = "") -> None:
-        """Restrict dispatch to clusters 0..n-1 (instructions already in
-        the others drain naturally).  With a decentralized cache this
-        flushes the L1 and stalls dispatch for the flush duration."""
+        """Restrict dispatch to the first ``n`` live clusters (instructions
+        already in the others drain naturally).  With a decentralized cache
+        this flushes the L1 and stalls dispatch for the flush duration."""
         n = max(1, min(n, self.config.num_clusters))
-        if n == self.active_clusters:
+        if n == self._logical_active:
             return
-        before = self.active_clusters
-        self.active_clusters = n
+        before = self._logical_active
+        self._logical_active = n
         self.stats.reconfigurations += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -152,7 +169,33 @@ class ClusteredProcessor:
                 after=n,
                 reason=reason,
             )
-        stall = self.memory.set_active_clusters(n, self.cycle)
+        self.refresh_live_clusters()
+
+    def refresh_live_clusters(self) -> None:
+        """Recompute the physical dispatch window from cluster liveness.
+
+        ``_logical_active`` is the controller's request; ``active_clusters``
+        is the physical prefix bound sized so the window holds that many
+        *live* clusters (or every cluster, when too few survive); and
+        ``effective_active_clusters`` is the live count inside the window.
+        On a healthy machine the three are equal and this reduces to the
+        pre-fault behavior bit for bit.  Cache banks remap onto the live
+        clusters inside the window, flushing the L1 like any resize.
+        """
+        clusters = self.clusters
+        want = self._logical_active
+        bound = self.config.num_clusters
+        live_seen = 0
+        for k, cluster in enumerate(clusters):
+            if cluster.live:
+                live_seen += 1
+                if live_seen >= want:
+                    bound = k + 1
+                    break
+        self.active_clusters = bound
+        banks = tuple(k for k in range(bound) if clusters[k].live)
+        self.effective_active_clusters = len(banks)
+        stall = self.memory.set_banks(banks, self.cycle)
         if stall:
             self._dispatch_stalled_until = max(
                 self._dispatch_stalled_until, self.cycle + stall
@@ -527,7 +570,9 @@ class ClusteredProcessor:
         """Advance one cycle."""
         self.cycle += 1
         self.stats.cycles = self.cycle
-        self.stats.cluster_cycle_product += self.active_clusters
+        if self.cycle >= self._next_fault:
+            self._next_fault = self._fault_manager.advance(self.cycle)
+        self.stats.cluster_cycle_product += self.effective_active_clusters
         self._drain_memory()
         self._commit()
         self._issue()
@@ -581,6 +626,8 @@ class ClusteredProcessor:
                     f"pipeline wedged: {self.stats.committed} committed in "
                     f"{self.cycle} cycles"
                 )
+        if self._fault_manager is not None:
+            self._fault_manager.finalize(self.cycle)
         if self.invariants is not None:
             self.invariants.check()
         return self.stats

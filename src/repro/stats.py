@@ -65,6 +65,16 @@ class SimStats:
     arb_reclaims: int = 0
     owned_cluster_cycles: int = 0  # sum over cycles of owned cluster count
 
+    # architectural faults (repro.resilience): injected events, degraded
+    # operation, and recovery latency; zero for healthy runs
+    faults_injected: int = 0
+    cluster_kills: int = 0
+    links_severed: int = 0
+    links_degraded: int = 0
+    fu_faults: int = 0
+    degraded_cycles: int = 0  # cycles with >= 1 dead cluster or hurt link
+    recovery_cycles: int = 0  # total kill-to-remap-done latency
+
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
@@ -158,6 +168,13 @@ class SimStats:
         self.arb_grants += other.arb_grants
         self.arb_reclaims += other.arb_reclaims
         self.owned_cluster_cycles += other.owned_cluster_cycles
+        self.faults_injected += other.faults_injected
+        self.cluster_kills += other.cluster_kills
+        self.links_severed += other.links_severed
+        self.links_degraded += other.links_degraded
+        self.fu_faults += other.fu_faults
+        self.degraded_cycles += other.degraded_cycles
+        self.recovery_cycles += other.recovery_cycles
         return self
 
     @classmethod

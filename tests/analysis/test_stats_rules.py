@@ -235,3 +235,91 @@ class TestS303VocabularyLiterals:
         }, select=["S303"])
         assert len(found) == 1
         assert "grid" in found[0].message
+
+
+EVENTS_MODULE = """
+    EVENT_FIELDS = {
+        "cycle_sample": ("ipc", "clusters"),
+        "fault_inject": ("fault", "target"),
+    }
+
+    def validate_event(event):
+        return event
+"""
+
+
+class TestS304EventSchemaCoverage:
+    """S304 walks up from the scanned events.py to the sibling tests/ tree,
+    so the synthetic fixtures place both under the same tmp_path root."""
+
+    def test_uncovered_kind_flagged_by_name(self, findings_of):
+        found = findings_of({
+            "repro/observability/events.py": EVENTS_MODULE,
+            "tests/test_schema.py": """
+                from repro.observability.events import validate_event
+
+                def test_cycle_sample():
+                    validate_event({"kind": "cycle_sample"})
+            """,
+        }, select=["S304"])
+        assert [f.rule for f in found] == ["S304"]
+        assert found[0].detail["kind"] == "fault_inject"
+        assert "fault_inject" in found[0].message
+        # anchored at the kind's key inside the EVENT_FIELDS literal
+        assert found[0].path == "repro/observability/events.py"
+
+    def test_literal_coverage_of_every_kind_is_clean(self, findings_of):
+        found = findings_of({
+            "repro/observability/events.py": EVENTS_MODULE,
+            "tests/test_schema.py": """
+                from repro.observability.events import validate_event
+
+                def test_kinds():
+                    for kind in ("cycle_sample", "fault_inject"):
+                        validate_event({"kind": kind})
+            """,
+        }, select=["S304"])
+        assert found == []
+
+    def test_exhaustive_parametrized_test_is_generic_coverage(
+            self, findings_of):
+        # a test that iterates EVENT_FIELDS covers new kinds by
+        # construction — no literal mention needed
+        found = findings_of({
+            "repro/observability/events.py": EVENTS_MODULE,
+            "tests/test_schema.py": """
+                from repro.observability.events import (
+                    EVENT_FIELDS, validate_event,
+                )
+
+                def test_every_kind():
+                    for kind in EVENT_FIELDS:
+                        validate_event({"kind": kind})
+            """,
+        }, select=["S304"])
+        assert found == []
+
+    def test_no_validate_event_tests_at_all(self, findings_of):
+        found = findings_of({
+            "repro/observability/events.py": EVENTS_MODULE,
+            "tests/test_unrelated.py": """
+                def test_nothing():
+                    assert True
+            """,
+        }, select=["S304"])
+        assert len(found) == 1
+        assert "untested" in found[0].message
+        assert "2 declared event kinds" in found[0].message
+
+    def test_real_events_module_parses_into_the_rule(self, findings_of):
+        """The shipping events.py, copied into a tree with no tests/ at
+        all, trips the missing-tests arm — proving the rule extracts the
+        real EVENT_FIELDS table.  (Real-repo coverage itself is proven by
+        the shipping-tree-clean test in test_cli.py, which resolves the
+        actual tests/ directory.)"""
+        real = (REPO_ROOT / "src/repro/observability/events.py").read_text()
+        found = findings_of(
+            {"repro/observability/events.py": real}, select=["S304"])
+        assert len(found) == 1
+        assert "untested" in found[0].message
+        assert "declared event kinds" in found[0].message

@@ -133,6 +133,53 @@ class TestSignalDrain:
         assert snapshot(records) == snapshot(reference)
 
 
+class TestFaultedSignalDrain:
+    """Satellite of the architectural fault model: a sweep of *faulted*
+    runs interrupted mid-flight must drain, journal, and resume to the
+    same bits — the fault schedule replays from the spec, not from any
+    state the interrupt could have lost."""
+
+    @staticmethod
+    def faulted_specs():
+        from repro.resilience import FaultEvent, FaultSchedule
+
+        schedule = FaultSchedule((
+            FaultEvent(cycle=400, kind="cluster_kill", cluster=3),
+            FaultEvent(cycle=700, kind="fu_disable", cluster=2,
+                       unit="int_alu"),
+            FaultEvent(cycle=1_000, kind="cluster_restore", cluster=3),
+        ))
+        return [spec_for(p, clusters=16, faults=schedule)
+                for p in FOUR_SPECS]
+
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_drain_resumes_faulted_sweep(self, tmp_path, signum):
+        journal_path = tmp_path / f"sweep-{signum}.jsonl"
+        specs = self.faulted_specs()
+
+        def interrupt_after_first(event):
+            if event["completed"] == 1:
+                os.kill(os.getpid(), signum)
+
+        runner = SweepRunner(jobs=2, use_cache=False, journal=journal_path,
+                             progress=interrupt_after_first)
+        with pytest.raises(SweepInterrupted) as excinfo:
+            runner.run(specs)
+        partial = excinfo.value.completed
+        assert 1 <= len(partial) < len(specs)
+        assert all(r.ok for r in partial)
+
+        resumed = SweepRunner(jobs=2, use_cache=False, journal=journal_path,
+                              resume=True)
+        records = resumed.run(specs)
+        assert resumed.metrics.journal_skips == len(partial)
+
+        reference = SweepRunner(jobs=2, use_cache=False).run(specs)
+        assert snapshot(records) == snapshot(reference)
+        for record in records:
+            assert record.result.stats.faults_injected == 3
+
+
 class TestWorkerCrash:
     def test_crash_respawns_pool_and_completes(self, tmp_path):
         """One injected worker crash: the pool is respawned, the suspect is
@@ -243,6 +290,32 @@ class TestFaultPlanTransport:
     def test_malformed_env_plan_is_ignored(self, monkeypatch):
         monkeypatch.setattr(faults, "_ACTIVE", None)
         monkeypatch.setenv(faults.FAULT_PLAN_ENV, "{broken json")
+        assert faults.active_plan() is None
+
+    def test_unknown_key_raises_naming_it(self):
+        with pytest.raises(ValueError, match="'crash_profilez'"):
+            faults.FaultPlan.from_json('{"crash_profilez": ["gzip"]}')
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            faults.FaultPlan.from_json('["gzip"]')
+
+    @pytest.mark.parametrize("payload,key", [
+        ('{"crash_profiles": "gzip"}', "crash_profiles"),
+        ('{"crash_profiles": [1, 2]}', "crash_profiles"),
+        ('{"hang_seconds": "soon"}', "hang_seconds"),
+        ('{"corrupt_cache_writes": 1}', "corrupt_cache_writes"),
+        ('{"scramble_topology": "yes"}', "scramble_topology"),
+        ('{"crash_token_dir": 7}', "crash_token_dir"),
+        ('{"main_pid": "me"}', "main_pid"),
+    ])
+    def test_wrong_typed_field_raises_naming_it(self, payload, key):
+        with pytest.raises(ValueError, match=repr(key)):
+            faults.FaultPlan.from_json(payload)
+
+    def test_wrong_typed_env_plan_degrades_to_no_plan(self, monkeypatch):
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, '{"hang_seconds": "soon"}')
         assert faults.active_plan() is None
 
     def test_retry_with_backoff_recovers_transient_failure(self, monkeypatch):

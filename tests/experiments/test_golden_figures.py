@@ -149,6 +149,98 @@ class TestCommittedMultiprog:
             assert churn["comm-aware"][fabric] > 0, fabric
 
 
+class TestCommittedResilience:
+    """The checked-in fig_resilience exhibit: topologies x policies x rates."""
+
+    TOPOLOGIES = ("ring", "grid", "torus", "decentralized")
+    POLICIES = ("none", "explore")
+    RATES = ("faults=0", "faults=1", "faults=2", "faults=4")
+
+    def test_matrix_is_complete(self):
+        blocks = parse_exhibit_blocks("fig_resilience.txt")
+        # one IPC block per topology, then the degraded-fraction block
+        assert len(blocks) == len(self.TOPOLOGIES) + 1
+        for table in blocks[:-1]:
+            assert set(table) == set(self.POLICIES)
+            for row in table.values():
+                assert set(row) == set(self.RATES)
+        degraded = blocks[-1]
+        assert set(degraded) == set(self.TOPOLOGIES)
+
+    def test_ipc_positive_and_faults_cost_throughput(self):
+        blocks = parse_exhibit_blocks("fig_resilience.txt")
+        for table in blocks[:-1]:
+            for policy in self.POLICIES:
+                for rate in self.RATES:
+                    assert table[policy][rate] > 0, (policy, rate)
+                # a degraded machine must not meaningfully outrun the
+                # healthy one (small wins are steering-noise artifacts)
+                healthy = table[policy]["faults=0"]
+                assert table[policy]["faults=4"] <= healthy * 1.05, policy
+
+    def test_degraded_fraction_tracks_injection(self):
+        degraded = parse_exhibit_blocks("fig_resilience.txt")[-1]
+        for topology in self.TOPOLOGIES:
+            assert degraded[topology]["faults=0"] == 0, topology
+            for rate in ("faults=1", "faults=2", "faults=4"):
+                assert 0 < degraded[topology][rate] <= 1, (topology, rate)
+
+
+@pytest.mark.slow
+class TestMiniResilience:
+    """Miniature fig_resilience re-simulation: deterministic and coherent."""
+
+    TOPOLOGIES = ("ring", "grid")
+    POLICIES = ("none", "explore")
+    RATES = (0, 2)
+    LEN = 4_000
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments.figures import fig_resilience
+
+        return fig_resilience(
+            trace_length=self.LEN,
+            topologies=self.TOPOLOGIES,
+            policies=self.POLICIES,
+            rates=self.RATES,
+        )
+
+    def test_matrix_complete(self, results):
+        assert set(results) == set(self.TOPOLOGIES)
+        for by_policy in results.values():
+            assert set(by_policy) == set(self.POLICIES)
+            for by_rate in by_policy.values():
+                assert set(by_rate) == {"faults=0", "faults=2"}
+                for metrics in by_rate.values():
+                    assert metrics["ipc"] > 0
+
+    def test_healthy_runs_are_clean(self, results):
+        for topology in self.TOPOLOGIES:
+            for policy in self.POLICIES:
+                m = results[topology][policy]["faults=0"]
+                assert m["faults_injected"] == 0, (topology, policy)
+                assert m["degraded_frac"] == 0, (topology, policy)
+
+    def test_faulted_runs_degrade(self, results):
+        for topology in self.TOPOLOGIES:
+            for policy in self.POLICIES:
+                m = results[topology][policy]["faults=2"]
+                assert m["faults_injected"] > 0, (topology, policy)
+                assert m["degraded_frac"] > 0, (topology, policy)
+
+    def test_rerun_is_identical(self, results):
+        from repro.experiments.figures import fig_resilience
+
+        again = fig_resilience(
+            trace_length=self.LEN,
+            topologies=self.TOPOLOGIES,
+            policies=self.POLICIES,
+            rates=self.RATES,
+        )
+        assert again == results
+
+
 @pytest.mark.slow
 class TestMiniMultiprog:
     """Miniature fig_multiprog re-simulation: deterministic and coherent."""

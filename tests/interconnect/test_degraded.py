@@ -1,0 +1,106 @@
+"""DegradedTopology: rerouting around severed links, partition errors."""
+
+import pytest
+
+from repro.config import InterconnectConfig
+from repro.errors import ConfigError, UnreachableCluster
+from repro.interconnect import build_topology
+from repro.interconnect.degraded import DegradedTopology
+from repro.interconnect.network import Network
+
+
+def ring(n=8):
+    return build_topology(InterconnectConfig(topology="ring"), n)
+
+
+def wire_ids(topology, src, dst):
+    return sorted(
+        link
+        for link, ends in topology.link_endpoints().items()
+        if ends in ((src, dst), (dst, src))
+    )
+
+
+class TestRerouting:
+    def test_severed_wire_routes_the_long_way(self):
+        base = ring(8)
+        degraded = DegradedTopology(base, set(wire_ids(base, 0, 1)))
+        # 0 -> 1 now goes all the way round: seven hops instead of one
+        assert base.hops(0, 1) == 1
+        assert len(degraded.route(0, 1)) == 7
+        # untouched pairs keep shortest paths
+        assert len(degraded.route(2, 4)) == 2
+
+    def test_link_id_space_preserved(self):
+        base = ring(8)
+        dead = set(wire_ids(base, 0, 1))
+        degraded = DegradedTopology(base, dead)
+        assert degraded.num_links == base.num_links
+        assert set(degraded.link_endpoints()) == (
+            set(base.link_endpoints()) - dead
+        )
+        for path in (degraded.route(s, d)
+                     for s in range(8) for d in range(8) if s != d):
+            assert not set(path) & dead, "route crosses a severed link"
+
+    def test_self_route_is_empty(self):
+        degraded = DegradedTopology(ring(8), set())
+        assert degraded.route(3, 3) == ()
+
+    def test_deterministic_ties(self):
+        base = ring(8)
+        first = DegradedTopology(base, set(wire_ids(base, 2, 3)))
+        second = DegradedTopology(base, set(wire_ids(base, 2, 3)))
+        for src in range(8):
+            for dst in range(8):
+                if src != dst:
+                    assert first.route(src, dst) == second.route(src, dst)
+
+
+class TestPartition:
+    def test_isolated_node_raises(self):
+        base = ring(4)
+        dead = set(wire_ids(base, 0, 1)) | set(wire_ids(base, 1, 2))
+        degraded = DegradedTopology(base, dead)
+        with pytest.raises(UnreachableCluster, match="partitioned"):
+            degraded.route(0, 1)
+        # the surviving component still routes
+        assert degraded.route(0, 2)
+
+
+class TestNetworkFaultState:
+    def make(self, topology="ring", n=8):
+        return Network(InterconnectConfig(topology=topology), n)
+
+    def test_sever_and_restore_round_trip(self):
+        net = self.make()
+        healthy = net.uncontended_latency(0, 1)
+        assert net.sever_link(0, 1)
+        assert net.is_degraded
+        assert isinstance(net.topology, DegradedTopology)
+        assert net.uncontended_latency(0, 1) > healthy
+        assert not net.sever_link(0, 1)  # idempotent
+        assert net.restore_link(0, 1)
+        assert not net.is_degraded
+        assert net.uncontended_latency(0, 1) == healthy
+
+    def test_degrade_multiplies_latency(self):
+        net = self.make()
+        healthy = net.uncontended_latency(0, 1)
+        assert net.degrade_link(0, 1, factor=4)
+        assert net.uncontended_latency(0, 1) == healthy * 4
+        # other links unaffected
+        assert net.uncontended_latency(2, 3) == healthy
+        assert not net.degrade_link(0, 1, factor=4)  # same factor: no-op
+
+    def test_require_link_rejects_non_neighbours(self):
+        net = self.make()
+        net.require_link(0, 1)
+        with pytest.raises(ConfigError, match="physical neighbours"):
+            net.require_link(0, 4)
+
+    def test_transfer_pays_degraded_cost(self):
+        fast = self.make()
+        slow = self.make()
+        slow.degrade_link(0, 1, factor=8)
+        assert slow.transfer(0, 1, 0) > fast.transfer(0, 1, 0)

@@ -1,0 +1,177 @@
+"""Multiprogrammed fault handling: the ledger's failed state and the
+scheduler's kill/evict/emergency-grant machinery."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.multiprog import ClusterLedger, MultiProgSpec, run_multiprog
+from repro.multiprog.ledger import DRAINING, FAILED, FREE, OWNED
+from repro.observability import MemoryTracer
+from repro.resilience import FaultEvent, FaultSchedule
+
+
+def kill(cycle, cluster):
+    return FaultEvent(cycle=cycle, kind="cluster_kill", cluster=cluster)
+
+
+def restore(cycle, cluster):
+    return FaultEvent(cycle=cycle, kind="cluster_restore", cluster=cluster)
+
+
+class TestSpecValidation:
+    def test_only_cluster_kinds_allowed(self):
+        for event in (
+            FaultEvent(cycle=10, kind="link_sever", src=0, dst=1),
+            FaultEvent(cycle=10, kind="fu_disable", cluster=1,
+                       unit="int_alu"),
+        ):
+            with pytest.raises(ConfigError, match="cluster_kill"):
+                MultiProgSpec(
+                    workloads=("gzip", "swim"),
+                    faults=FaultSchedule((event,)),
+                )
+
+    def test_cluster_bounds_checked(self):
+        with pytest.raises(ConfigError, match="fabric has 4"):
+            MultiProgSpec(
+                workloads=("gzip", "swim"),
+                clusters=4,
+                faults=FaultSchedule((kill(10, 7),)),
+            )
+
+    def test_home_cluster_killable_in_multiprog(self):
+        # no home protection here: losing cluster 0 is an ownership change
+        MultiProgSpec(
+            workloads=("gzip", "swim"),
+            faults=FaultSchedule((kill(10, 0),)),
+        )
+
+
+class TestLedgerFailedState:
+    def test_fail_evicts_owner_and_blocks_grants(self):
+        ledger = ClusterLedger(4)
+        ledger.grant(1, 0, 0)
+        assert ledger.fail_cluster(1, 10) == 0
+        assert ledger.state(1, 10) == FAILED
+        assert ledger.failed_clusters() == (1,)
+        assert 1 not in ledger.free_clusters(10)
+        assert ledger.owned_by(0) == ()
+        with pytest.raises(SimulationError, match="dead"):
+            ledger.grant(1, 0, 20)
+        ledger.check_conservation(20)
+
+    def test_fail_is_idempotent(self):
+        ledger = ClusterLedger(4)
+        assert ledger.fail_cluster(2, 10) is None  # unowned: no eviction
+        assert ledger.fail_cluster(2, 20) is None  # already failed
+        assert ledger.failed_clusters() == (2,)
+
+    def test_fail_interrupts_a_drain(self):
+        ledger = ClusterLedger(4)
+        ledger.grant(1, 0, 0)
+        ledger.reclaim(1, 0, 10, 50)
+        assert ledger.state(1, 20) == DRAINING
+        ledger.fail_cluster(1, 20)
+        assert ledger.state(1, 20) == FAILED
+        ledger.check_conservation(20)
+
+    def test_restore_reenters_free(self):
+        ledger = ClusterLedger(4)
+        ledger.fail_cluster(3, 10)
+        assert ledger.restore_cluster(3, 20)
+        assert ledger.state(3, 20) == FREE
+        assert not ledger.restore_cluster(3, 30)  # not failed: no-op
+        ledger.grant(3, 1, 40)
+        assert ledger.state(3, 40) == OWNED
+
+    def test_conservation_spans_all_four_states(self):
+        ledger = ClusterLedger(6)
+        ledger.grant(0, 0, 0)
+        ledger.grant(1, 0, 0)
+        ledger.reclaim(1, 0, 10, 100)   # draining
+        ledger.fail_cluster(2, 10)      # failed
+        ledger.check_conservation(50)   # owned=1 drain=1 failed=1 free=3
+
+
+def faulted_spec(**overrides):
+    base = dict(
+        workloads=("gzip", "swim"),
+        trace_length=1_500,
+        seed=11,
+        topology="ring",
+        arbiter="round-robin",
+        clusters=4,
+        epoch_cycles=250,
+        drain_cycles=20,
+        faults=FaultSchedule((kill(600, 3),)),
+    )
+    base.update(overrides)
+    return MultiProgSpec(**base)
+
+
+class TestScheduler:
+    @pytest.mark.parametrize("arbiter", ["static", "round-robin",
+                                         "comm-aware"])
+    def test_kill_mid_run_completes_and_counts(self, arbiter):
+        result = run_multiprog(faulted_spec(arbiter=arbiter))
+        assert all(t.committed > 0 for t in result.threads)
+        assert result.stats.faults_injected == 1
+        assert result.stats.cluster_kills == 1
+        assert result.stats.degraded_cycles > 0
+        # the dead cluster is out of the pool: the owned-cluster integral
+        # from the kill onward can never include it
+        total_owned = sum(t.stats.owned_cluster_cycles for t in result.threads)
+        assert total_owned < 4 * result.cycles
+
+    def test_restore_rejoins_the_pool(self):
+        killed = run_multiprog(faulted_spec())
+        repaired = run_multiprog(faulted_spec(
+            faults=FaultSchedule((kill(600, 3), restore(900, 3)))
+        ))
+        assert repaired.stats.faults_injected == 2
+        assert repaired.stats.degraded_cycles <= killed.stats.degraded_cycles
+
+    def test_evicted_thread_gets_emergency_grant(self):
+        # static arbiter on 2 threads x 4 clusters: thread 1 owns {2, 3};
+        # killing both forces one emergency grant (a free cluster exists
+        # only after the second kill steals from thread 0... so the first
+        # kill's replacement comes from the free pool being empty -> donor
+        # steal), and the run must still complete
+        spec = faulted_spec(
+            arbiter="static",
+            faults=FaultSchedule((kill(600, 2), kill(700, 3))),
+        )
+        result = run_multiprog(spec)
+        assert all(t.committed > 0 for t in result.threads)
+        assert result.stats.cluster_kills == 2
+        assert result.stats.arb_grants >= 1
+
+    def test_more_threads_than_surviving_clusters_raises(self):
+        spec = faulted_spec(
+            workloads=("gzip", "swim", "mgrid"),
+            clusters=3,
+            faults=FaultSchedule((kill(400, 0), kill(500, 1))),
+        )
+        with pytest.raises(SimulationError, match="no donor"):
+            run_multiprog(spec)
+
+    def test_faulted_run_is_deterministic_and_tracer_passive(self):
+        spec = faulted_spec(arbiter="comm-aware")
+        baseline = run_multiprog(spec)
+        again = run_multiprog(spec)
+        traced = run_multiprog(spec, tracer=MemoryTracer(sample_period=100))
+        for other in (again, traced):
+            assert dataclasses.asdict(other.stats) == dataclasses.asdict(
+                baseline.stats
+            )
+            assert other.cycles == baseline.cycles
+
+    def test_fault_events_reach_the_trace(self):
+        tracer = MemoryTracer(sample_period=0)
+        run_multiprog(faulted_spec(), tracer=tracer)
+        kinds = [e["kind"] for e in tracer.events]
+        assert "fault_inject" in kinds
+        assert "remap_start" in kinds
+        assert "remap_done" in kinds

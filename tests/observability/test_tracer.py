@@ -14,6 +14,7 @@ from repro.observability import (
     read_jsonl,
     validate_event,
 )
+from repro.observability.events import EVENT_FIELDS
 
 
 def run(trace, config, tracer=None, policy=None):
@@ -169,6 +170,89 @@ class TestControllerEmissions:
             assert event["controller"] == "IntervalExploreController"
             assert event["interval_length"] >= 1
             assert event["ipc"] >= 0
+
+
+class TestSchemaCoverage:
+    """Every kind in EVENT_FIELDS round-trips through validate_event.
+
+    This is the exhaustive schema check the S304 analysis rule pins: a new
+    event kind added to ``EVENT_FIELDS`` is automatically covered here, but
+    the rule still fails if this file stops importing/validating the table.
+    """
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_FIELDS))
+    def test_kind_validates(self, kind):
+        event = {"kind": kind, "cycle": 1, "committed": 1}
+        event.update({f: 0 for f in EVENT_FIELDS[kind]})
+        validate_event(event)
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_FIELDS))
+    def test_kind_rejects_extra_and_missing_fields(self, kind):
+        event = {"kind": kind, "cycle": 1, "committed": 1}
+        event.update({f: 0 for f in EVENT_FIELDS[kind]})
+        with pytest.raises(ValueError, match="unexpected"):
+            validate_event({**event, "bogus": 1})
+        short = dict(event)
+        del short["committed"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_event(short)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event({"kind": "warp_core_breach", "cycle": 1,
+                            "committed": 1})
+
+
+class TestFaultEmissions:
+    """Architectural fault events: fault_inject and the remap pair."""
+
+    def faulted_run(self, trace, config, policy="explore"):
+        from repro.experiments.sweep import ControllerSpec
+        from repro.resilience import FaultEvent, FaultSchedule
+
+        schedule = FaultSchedule((
+            FaultEvent(cycle=800, kind="cluster_kill", cluster=5),
+            FaultEvent(cycle=1_000, kind="fu_disable", cluster=2,
+                       unit="int_alu"),
+            FaultEvent(cycle=1_200, kind="link_degrade", src=1, dst=2),
+            FaultEvent(cycle=2_000, kind="cluster_restore", cluster=5),
+        ))
+        tracer = MemoryTracer(sample_period=0)
+        makers = {"explore": ControllerSpec.explore,
+                  "finegrain": ControllerSpec.finegrain}
+        processor = ClusteredProcessor(
+            trace, config, makers[policy]().build(), tracer=tracer,
+            fault_schedule=schedule,
+        )
+        processor.run()
+        return tracer, processor.stats, schedule
+
+    def test_fault_events_validate_and_count(self, gzip_trace, config16):
+        tracer, stats, schedule = self.faulted_run(gzip_trace, config16)
+        for event in tracer.events:
+            validate_event(event)
+        injects = [e for e in tracer.events if e["kind"] == "fault_inject"]
+        assert len(injects) == len(schedule) == stats.faults_injected
+        assert [e["fault"] for e in injects] == [
+            ev.kind for ev in schedule.events
+        ]
+        assert injects[0]["target"] == "cluster:5"
+
+    def test_kill_emits_remap_pair(self, gzip_trace, config16):
+        tracer, stats, _ = self.faulted_run(gzip_trace, config16)
+        starts = [e for e in tracer.events if e["kind"] == "remap_start"]
+        dones = [e for e in tracer.events if e["kind"] == "remap_done"]
+        assert len(starts) == len(dones) == 1
+        assert starts[0]["target"] == dones[0]["target"] == "cluster:5"
+        assert starts[0]["live"] == config16.num_clusters - 1
+        assert dones[0]["latency"] >= 0
+        assert dones[0]["cycle"] >= starts[0]["cycle"]
+        assert stats.cluster_kills == 1
+
+    def test_faulted_tracing_is_passive(self, gzip_trace, config16):
+        _, traced_stats, _ = self.faulted_run(gzip_trace, config16)
+        _, again, _ = self.faulted_run(gzip_trace, config16)
+        assert dataclasses.asdict(traced_stats) == dataclasses.asdict(again)
 
 
 class TestSubclassContract:

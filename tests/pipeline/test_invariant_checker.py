@@ -157,6 +157,42 @@ class TestCorruptionIsCaught:
             run_cycles(proc, 64)
 
 
+class TestLivenessAwareRates:
+    """Fault-killed clusters must not false-positive the rate checks, but
+    a drifted live-cluster count must still fail."""
+
+    def faulted(self, trace, schedule):
+        from repro.pipeline.processor import ClusteredProcessor
+
+        return ClusteredProcessor(
+            trace, config_with_checks(period=16), None,
+            fault_schedule=schedule,
+        )
+
+    def test_killed_cluster_passes_checks(self, gzip_trace):
+        from repro.resilience import FaultEvent, FaultSchedule
+
+        proc = self.faulted(gzip_trace, FaultSchedule((
+            FaultEvent(cycle=300, kind="cluster_kill", cluster=5),
+        )))
+        proc.run()  # every sampled check ran against the degraded machine
+        assert proc.invariants.checks_run > 1
+        assert proc.stats.cluster_kills == 1
+
+    def test_liveness_drift_is_caught(self, gzip_trace):
+        from repro.resilience import FaultEvent, FaultSchedule
+
+        proc = self.faulted(gzip_trace, FaultSchedule((
+            FaultEvent(cycle=100, kind="cluster_kill", cluster=5),
+        )))
+        run_cycles(proc, 300)
+        # resurrect the cluster behind the processor's back: the effective
+        # count no longer matches the live scan
+        proc.clusters[5].live = True
+        with pytest.raises(SimulationError, match="fault remap drifted"):
+            proc.invariants.check()
+
+
 class TestSamplingPeriod:
     def test_longer_period_means_fewer_checks(self, gzip_trace):
         fine = processor_for(gzip_trace, period=8)

@@ -1,0 +1,126 @@
+"""Hypothesis property tests over random kill/restore sequences.
+
+Two layers, one claim each:
+
+* the multiprog ``ClusterLedger`` survives *any* interleaving of
+  fail/restore/grant without leaking or double-counting a cluster, and
+* a seeded random kill/restore schedule on the single-thread pipeline
+  always completes the trace, counts its injections, and replays
+  bit-identically (traced or not).
+
+CI's chaos job runs these with ``REPRO_HYPOTHESIS_PROFILE=thorough`` on
+pushes; PRs and local runs use the fast profile's smaller budget.
+"""
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import default_config, generate_trace, get_profile
+from repro.errors import SimulationError
+from repro.multiprog import ClusterLedger
+from repro.multiprog.ledger import FAILED, FREE, OWNED
+from repro.observability import MemoryTracer
+from repro.pipeline.processor import ClusteredProcessor
+from repro.resilience import FaultSchedule
+
+settings.register_profile("fast", max_examples=10, deadline=None)
+settings.register_profile("thorough", max_examples=75, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "fast"))
+
+CLUSTERS = 6
+
+#: one short trace shared by every example (hypothesis forbids
+#: function-scoped fixtures; module scope is also simply faster)
+TRACE = generate_trace(get_profile("gzip"), 2_000, seed=7)
+
+
+@given(data=st.data())
+def test_ledger_survives_any_fail_restore_grant_interleaving(data):
+    """Conservation and state transitions hold under arbitrary sequences."""
+    ledger = ClusterLedger(CLUSTERS)
+    owned = {}  # cluster -> thread
+    failed = set()
+    cycle = 0
+    for _ in range(data.draw(st.integers(1, 30), label="ops")):
+        cycle += data.draw(st.integers(1, 20), label="dt")
+        cluster = data.draw(st.integers(0, CLUSTERS - 1), label="cluster")
+        op = data.draw(st.sampled_from(["fail", "restore", "grant"]),
+                       label="op")
+        if op == "fail":
+            evicted = ledger.fail_cluster(cluster, cycle)
+            if cluster in failed:
+                assert evicted is None  # idempotent on a dead cluster
+            else:
+                assert evicted == owned.pop(cluster, None)
+                failed.add(cluster)
+        elif op == "restore":
+            assert ledger.restore_cluster(cluster, cycle) == (
+                cluster in failed
+            )
+            failed.discard(cluster)
+        else:  # grant
+            thread = data.draw(st.integers(0, 2), label="thread")
+            if cluster in failed:
+                with pytest.raises(SimulationError, match="dead"):
+                    ledger.grant(cluster, thread, cycle)
+            elif cluster in owned:
+                with pytest.raises(SimulationError, match="double grant"):
+                    ledger.grant(cluster, thread, cycle)
+            else:
+                ledger.grant(cluster, thread, cycle)
+                owned[cluster] = thread
+        # the ledger's view must match the model after every single op
+        ledger.check_conservation(cycle)
+        assert ledger.failed_clusters() == tuple(sorted(failed))
+        for c in range(CLUSTERS):
+            state = ledger.state(c, cycle)
+            if c in failed:
+                assert state == FAILED
+            elif c in owned:
+                assert state == OWNED
+            else:
+                assert state == FREE
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    faults=st.integers(1, 4),
+    repair_after=st.sampled_from([0, 150, 300]),
+)
+def test_seeded_kill_restore_completes_and_replays(seed, faults,
+                                                   repair_after):
+    """Any seeded cluster kill/restore schedule degrades gracefully."""
+    schedule = FaultSchedule.seeded(
+        seed,
+        cycles=2_000,
+        faults=faults,
+        kinds=("cluster",),
+        repair_after=repair_after,
+        window=(200, 900),  # all events fire well before the run ends
+    )
+    config = default_config(16)
+
+    def run(tracer=None):
+        proc = ClusteredProcessor(TRACE, config, None, tracer=tracer,
+                                  fault_schedule=schedule)
+        proc.run()
+        return proc.stats
+
+    baseline = run()
+    assert baseline.committed == len(TRACE)
+    if schedule:
+        assert baseline.faults_injected >= 1
+        assert baseline.cluster_kills >= 1
+    # restores heal: a repaired machine spends no more degraded cycles
+    # than the schedule's span allows
+    if repair_after and schedule:
+        assert baseline.degraded_cycles < baseline.cycles
+    snapshot = dataclasses.asdict(baseline)
+    assert dataclasses.asdict(run()) == snapshot
+    assert dataclasses.asdict(run(MemoryTracer(sample_period=200))) == (
+        snapshot
+    )

@@ -25,9 +25,53 @@ import pytest
 
 from repro import generate_trace, get_profile, simulate
 from repro.observability import MemoryTracer
+from repro.resilience import FaultEvent, FaultSchedule
 
 TOPOLOGIES = ("ring", "grid", "decentralized", "torus", "ring-of-rings")
 POLICIES = ("none", "static-4", "explore", "no-explore", "finegrain")
+
+#: faulted fingerprint cases: each scenario is pinned to one controller so
+#: the faulted matrix stays bounded while still crossing every fault kind
+#: with every topology.  Link endpoints (1, 2) / (2, 3) are neighbors on
+#: all five fabrics.
+FAULT_SCENARIOS = {
+    "kill": (
+        "explore",
+        FaultSchedule((FaultEvent(cycle=900, kind="cluster_kill", cluster=5),)),
+    ),
+    "kill-restore": (
+        "no-explore",
+        FaultSchedule((
+            FaultEvent(cycle=800, kind="cluster_kill", cluster=3),
+            FaultEvent(cycle=1600, kind="cluster_restore", cluster=3),
+        )),
+    ),
+    "fu-disable": (
+        "finegrain",
+        FaultSchedule((
+            FaultEvent(cycle=700, kind="fu_disable", cluster=2, unit="int_alu"),
+            FaultEvent(cycle=1200, kind="fu_disable", cluster=6, unit="fp_alu"),
+        )),
+    ),
+    "link-degrade": (
+        "static-4",
+        FaultSchedule((
+            FaultEvent(cycle=600, kind="link_degrade", src=1, dst=2, factor=4),
+        )),
+    ),
+    "link-sever": (
+        "none",
+        FaultSchedule((FaultEvent(cycle=1000, kind="link_sever", src=2, dst=3),)),
+    ),
+    "mixed": (
+        "explore",
+        FaultSchedule((
+            FaultEvent(cycle=800, kind="cluster_kill", cluster=7),
+            FaultEvent(cycle=900, kind="link_degrade", src=1, dst=2),
+            FaultEvent(cycle=1000, kind="fu_disable", cluster=4, unit="fp_mul"),
+        )),
+    ),
+}
 
 GOLDEN = pathlib.Path(__file__).with_name("golden_fingerprints.json")
 
@@ -53,8 +97,30 @@ def test_traced_run_is_bit_identical(topology, policy):
     assert traced.cycles == baseline.cycles
     assert traced.reconfigurations == baseline.reconfigurations
 
-    key = f"{topology}/{policy}"
-    digest = fingerprint(baseline.stats)
+    _check_golden(f"{topology}/{policy}", fingerprint(baseline.stats))
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+def test_faulted_run_is_bit_identical(topology, scenario):
+    """Fault injection must stay deterministic and tracer-transparent."""
+    policy, schedule = FAULT_SCENARIOS[scenario]
+    kwargs = dict(
+        topology=topology, reconfig_policy=policy, warmup=500, faults=schedule
+    )
+    baseline = simulate(_TRACE, **kwargs)
+    traced = simulate(_TRACE, trace=MemoryTracer(sample_period=100), **kwargs)
+    assert dataclasses.asdict(traced.stats) == dataclasses.asdict(
+        baseline.stats
+    )
+    assert traced.cycles == baseline.cycles
+    assert baseline.stats.faults_injected == len(schedule)
+    _check_golden(
+        f"{topology}/{policy}+{scenario}", fingerprint(baseline.stats)
+    )
+
+
+def _check_golden(key, digest):
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         data = json.loads(GOLDEN.read_text()) if GOLDEN.exists() else {}
         data[key] = digest
