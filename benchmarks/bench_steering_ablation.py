@@ -11,7 +11,7 @@ wide parallel codes (balance dominates).
 
 from repro.config import default_config
 from repro.experiments.reporting import format_table, geomean
-from repro.experiments.sweep import RunSpec, SweepRunner, require_ok
+from repro.experiments.sweep import RunSpec, SweepConfig, SweepRunner, require_ok
 
 from conftest import bench_trace_length
 
@@ -22,7 +22,7 @@ STEERINGS = {"producer": None, "mod-3": ("mod-n", 3), "first-fit": ("first-fit",
 
 
 def sweep(trace_length, runner=None):
-    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    runner = runner or SweepRunner(SweepConfig(jobs=1, use_cache=False))
     specs = [
         RunSpec(
             profile=bench,

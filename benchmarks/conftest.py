@@ -8,7 +8,6 @@ the traces toward paper scale on beefier machines.
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
@@ -20,11 +19,9 @@ BENCH_TRACE_LENGTH = 60_000
 
 
 def bench_trace_length(base: int = BENCH_TRACE_LENGTH) -> int:
-    try:
-        scale = max(0.1, float(os.environ.get("REPRO_TRACE_SCALE", "1")))
-    except ValueError:
-        scale = 1.0
-    return int(base * scale)
+    from repro.experiments.runner import trace_scale
+
+    return int(base * trace_scale())
 
 
 @pytest.fixture(scope="session")
@@ -36,10 +33,11 @@ def sweep_runner():
     would make the pytest-benchmark numbers meaningless; the assertions
     themselves are cache-safe because hits are bit-identical by key.
     """
-    from repro.experiments.sweep import SweepRunner
+    from repro.config import env_text
+    from repro.experiments.sweep import SweepConfig, SweepRunner
 
-    use_cache = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
-    runner = SweepRunner(jobs=None, use_cache=use_cache)
+    use_cache = env_text("REPRO_BENCH_CACHE", "") == "1"
+    runner = SweepRunner(SweepConfig(use_cache=use_cache))
     yield runner
     print(f"\n[sweep metrics] {runner.metrics.snapshot()}")
 

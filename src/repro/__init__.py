@@ -39,6 +39,7 @@ _EXPORTS = {
     "SweepResult": ".api",
     "simulate": ".api",
     "sweep": ".api",
+    "SweepConfig": ".experiments.sweep",
     "CacheConfig": ".config",
     "ClusterConfig": ".config",
     "FrontEndConfig": ".config",

@@ -20,8 +20,10 @@ hardware-model packages know nothing of each other), so same-rank
 cross-imports are back-edges too.  Function-local (lazy) imports count:
 laziness changes *when* a cycle bites, not whether the layering holds.
 
-L202 separately bans the three deprecated pre-facade call spellings inside
-the repo now that :mod:`repro.api` is the stable surface.
+L202 separately bans the three retired pre-facade call spellings inside
+the repo now that :mod:`repro.api` is the stable surface — both *calling*
+them and *reintroducing* the ``*args`` compatibility shims that once
+serviced them.
 """
 
 from __future__ import annotations
@@ -123,7 +125,7 @@ class LayeringRule(Rule):
                     )
 
 
-#: the deprecated pre-facade spellings: callable origin -> maximum number
+#: the retired pre-facade spellings: callable origin -> maximum number
 #: of positional arguments the keyword-era signature accepts
 _LEGACY_POSITIONAL_LIMITS = {
     # engine entry point: simulate(trace, config, *, controller=, ...)
@@ -131,32 +133,57 @@ _LEGACY_POSITIONAL_LIMITS = {
     # runner entry point: run_trace(trace, config, controller=None, *, ...)
     "repro.experiments.runner.run_trace": 3,
     # facade: simulate(workload, **spec-kwargs); positional config/controller
-    # selects the deprecated SimStats-returning shim
+    # selected the removed SimStats-returning shim
     "repro.api.simulate": 1,
     "repro.simulate": 1,
+}
+
+#: entry-point definitions whose signatures must stay shim-free:
+#: module -> function names that may not grow a ``*args`` vararg back
+_SHIM_FREE_ENTRY_POINTS = {
+    "repro.pipeline.processor": frozenset({"simulate"}),
+    "repro.experiments.runner": frozenset({"run_trace"}),
+    "repro.api": frozenset({"simulate"}),
 }
 
 
 @register_rule
 class LegacyEntryPointRule(Rule):
-    """L202: deprecated pre-facade call spellings.
+    """L202: retired pre-facade call spellings.
 
     The three legacy entry-point spellings (positional
     ``config``/``controller``/``warmup`` arguments to ``api.simulate``,
     ``pipeline.processor.simulate`` and ``experiments.runner.run_trace``)
-    only survive as :class:`DeprecationWarning` shims for external callers;
-    repo-internal code must use the keyword vocabulary so the shims can
-    eventually be deleted.
+    went through a :class:`DeprecationWarning` cycle and were then removed.
+    The rule keeps them dead in both directions: no repo-internal *call*
+    may use the positional spelling, and the entry-point *definitions*
+    themselves may not grow back the ``*args`` remap shim that once
+    serviced external callers.
     """
 
     RULE_ID = "L202"
     RULE_DOC = (
-        "deprecated pre-facade positional call spelling; pass "
-        "controller=/warmup=/processor= by keyword or use repro.api"
+        "retired pre-facade entry-point spelling: positional call or "
+        "reintroduced *args compatibility shim"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        guarded = _SHIM_FREE_ENTRY_POINTS.get(ctx.module, frozenset())
         for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in guarded
+                and node.args.vararg is not None
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"entry point {ctx.module}.{node.name} grew back a "
+                    f"*{node.args.vararg.arg} vararg; the positional-shim "
+                    f"era is over — keep the keyword-only signature",
+                    callee=f"{ctx.module}.{node.name}",
+                    vararg=node.args.vararg.arg,
+                )
+                continue
             if not isinstance(node, ast.Call):
                 continue
             dotted = ctx.resolve_name(node.func)
@@ -171,7 +198,7 @@ class LegacyEntryPointRule(Rule):
             if len(positional) > limit:
                 yield self.finding(
                     ctx, node,
-                    f"deprecated positional spelling of {dotted} "
+                    f"retired positional spelling of {dotted} "
                     f"({len(positional)} positional args; keyword-era "
                     f"signature takes {limit})",
                     callee=dotted,

@@ -114,18 +114,15 @@ class MergeCoverageRule(Rule):
 _SPEC_CALLS = {
     "repro.api.SimSpec": frozenset(),
     "repro.SimSpec": frozenset(),
-    # the facade still accepts (deprecated) config=/controller= keywords;
     # trace= (a Tracer or an export directory) is simulate-only, not a
     # SimSpec field (tracers are stateful and unpicklable by design);
     # arbiter=/epoch_cycles=/drain_cycles= select the multiprogrammed arm
     # (tuple-of-profiles workloads -> MultiProgSpec fields)
     "repro.api.simulate": frozenset(
-        {"config", "controller", "trace",
-         "arbiter", "epoch_cycles", "drain_cycles"}
+        {"trace", "arbiter", "epoch_cycles", "drain_cycles"}
     ),
     "repro.simulate": frozenset(
-        {"config", "controller", "trace",
-         "arbiter", "epoch_cycles", "drain_cycles"}
+        {"trace", "arbiter", "epoch_cycles", "drain_cycles"}
     ),
 }
 

@@ -49,7 +49,6 @@ Example::
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -261,11 +260,10 @@ def _resolve_tracer(trace):
 
 def simulate(
     workload,
-    config: Optional[ProcessorConfig] = None,
-    controller: Optional[object] = None,
+    *,
     trace=None,
     **kwargs,
-) -> Union[SimResult, SimStats]:
+) -> Union[SimResult, MultiProgResult]:
     """Run one simulation and return its :class:`SimResult`.
 
     ``workload`` is a :class:`SimSpec`, a profile name, or a
@@ -291,40 +289,11 @@ def simulate(
 
         simulate(("gzip", "swim"), topology="torus", arbiter="round-robin")
 
-    The pre-facade spelling ``simulate(trace, config, controller)`` (a
-    positional :class:`~repro.config.ProcessorConfig` and controller
-    instance, returning bare :class:`~repro.stats.SimStats`) still works
-    but emits a :class:`DeprecationWarning`; it will be removed once no
-    callers remain.
+    The pre-facade spelling ``simulate(trace, config, controller)`` was
+    removed after its deprecation cycle (analysis rule L202 guards
+    against its return); every parameter except the workload is
+    keyword-only.
     """
-    if config is not None or controller is not None:
-        # legacy shim: simulate(trace, config, controller=..., max_instructions=...)
-        warnings.warn(
-            "simulate(trace, config, controller) is deprecated; use "
-            "simulate(workload, processor=..., reconfig_policy=...) from "
-            "repro.api (returns a SimResult)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .pipeline.processor import ClusteredProcessor
-
-        tracer, session = _resolve_tracer(trace)
-        processor = ClusteredProcessor(
-            workload,
-            config if config is not None else default_config(),
-            controller,
-            kwargs.pop("steering", None),
-            tracer=tracer,
-        )
-        try:
-            stats = processor.run(kwargs.pop("max_instructions", None))
-        finally:
-            if session is not None:
-                session.close()
-        if kwargs:
-            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
-        return stats
-
     if isinstance(workload, MultiProgSpec) or isinstance(workload, (tuple, list)):
         return _simulate_multiprog(workload, trace, kwargs)
 
@@ -444,6 +413,8 @@ class SweepResult:
 def sweep(
     specs: Iterable[object],
     *,
+    backend: Union[str, object] = "auto",
+    lanes: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
     cache_dir=None,
@@ -454,7 +425,7 @@ def sweep(
     progress=None,
     trace=None,
 ) -> SweepResult:
-    """Fan a matrix of simulations out across worker processes.
+    """Fan a matrix of simulations out across an execution backend.
 
     ``specs`` may mix :class:`SimSpec`,
     :class:`~repro.multiprog.MultiProgSpec`, and raw
@@ -464,13 +435,27 @@ def sweep(
     vocabulary.  Failures come back as structured records — call
     :meth:`SweepResult.require_ok` to raise instead.
 
+    ``backend`` picks the execution mechanism — ``"auto"`` (serial for
+    one job, a local process pool otherwise, distributed when ``lanes``
+    is given), ``"serial"``, ``"process-pool"``, or ``"distributed"``
+    (a TCP coordinator feeding worker processes; ``lanes`` lists them:
+    ``"local,4"`` spawns four local workers, ``"host:port,8"`` opens
+    eight connections to a standing worker agent on another machine,
+    ``;`` separates lanes).  Every backend returns bit-identical
+    records; see ``docs/SWEEPS.md``.
+
     ``trace`` names a directory to receive the sweep's observability
     artifacts: ``sweep_metrics.json`` (the extended metrics snapshot with
-    per-spec queue/run timings) and ``sweep_trace.json`` (Chrome
-    trace-event spans of every executed run, lane-packed to show worker
-    utilization; open in Perfetto).
+    per-spec queue/run timings and backend lifecycle events) and
+    ``sweep_trace.json`` (Chrome trace-event spans of every executed
+    run, lane-packed to show worker utilization; open in Perfetto).
     """
-    from .experiments.sweep import RunSpec, SweepRunner, multiprog_run_spec
+    from .experiments.sweep import (
+        RunSpec,
+        SweepConfig,
+        SweepRunner,
+        multiprog_run_spec,
+    )
 
     run_specs: List[RunSpec] = []
     for spec in specs:
@@ -486,15 +471,19 @@ def sweep(
                 f"entries, got {type(spec).__name__}"
             )
     runner = SweepRunner(
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=cache,
-        timeout=timeout,
-        retries=retries,
-        journal=journal,
-        resume=resume,
+        SweepConfig(
+            backend=backend,
+            lanes=lanes,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=cache,
+            timeout=timeout,
+            retries=retries,
+            journal=journal,
+            resume=resume,
+            trace_dir=trace,
+        ),
         progress=progress,
-        trace_dir=trace,
     )
     records = runner.run(run_specs)
     return SweepResult(records=records, metrics=runner.metrics)

@@ -44,7 +44,7 @@ from .experiments import (
 )
 from .errors import SweepError, SweepInterrupted
 from .experiments.reporting import format_failure_table, format_sweep_metrics
-from .experiments.sweep import SweepRunner, default_cache_dir, default_jobs
+from .experiments.sweep import SweepConfig, SweepRunner, default_cache_dir
 from .workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, get_profile
 
 _EXHIBITS = {
@@ -75,6 +75,9 @@ def _parse_benchmarks(spec: Optional[str]) -> Sequence[str]:
 _EPILOG = """\
 sweep execution flags (every exhibit command):
   --jobs N --no-cache --timeout SECONDS      parallelism and caching
+  --backend serial|process-pool|distributed  how specs execute (default: auto)
+  --workers LANES / --lanes LANES            distributed lanes, e.g. "local,4"
+                                             or "hostA:9000,8;hostB:9000,8"
   --metrics-json PATH                        sweep metrics snapshot as JSON
   --journal PATH / --resume                  checkpoint + restart a killed sweep
   --trace DIR                                per-run timings + Perfetto trace
@@ -136,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
         ex.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the sweep "
                              "(default: REPRO_JOBS or cpu_count-1)")
+        ex.add_argument("--backend", default="auto",
+                        choices=["auto", "serial", "process-pool",
+                                 "distributed"],
+                        help="execution backend (default: auto — "
+                             "REPRO_SWEEP_BACKEND, else distributed when "
+                             "lanes are given, else serial/process-pool "
+                             "by job count)")
+        ex.add_argument("--workers", "--lanes", dest="lanes", default=None,
+                        metavar="LANES",
+                        help="worker lanes for the distributed backend: "
+                             "a count (\"4\"), \"local,N\", or "
+                             "\"host:port,slots\" entries joined by ';' "
+                             "(default: REPRO_LANES)")
         ex.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache "
                              "(REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -237,12 +253,16 @@ def _cmd_exhibit(name: str, args: argparse.Namespace) -> int:
                 f"{len(benchmarks)}: {','.join(benchmarks)}"
             )
     runner = SweepRunner(
-        jobs=args.jobs if args.jobs is not None else default_jobs(),
-        use_cache=not args.no_cache,
-        timeout=args.timeout,
-        journal=_journal_path(name, args),
-        resume=args.resume,
-        trace_dir=args.trace,
+        SweepConfig(
+            backend=args.backend,
+            jobs=args.jobs,
+            lanes=args.lanes,
+            use_cache=not args.no_cache,
+            timeout=args.timeout,
+            journal=_journal_path(name, args),
+            resume=args.resume,
+            trace_dir=args.trace,
+        )
     )
     try:
         if name == "fig_resilience":

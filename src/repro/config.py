@@ -42,6 +42,66 @@ def env_flag(name: str) -> bool:
     """Boolean environment switch: set to anything but ``0/false/no/off``."""
     return env_text(name).lower() not in _FALSE_VALUES
 
+
+def env_int(name: str, default: Optional[int] = None) -> Optional[int]:
+    """Integer environment switch (``default`` when unset or malformed)."""
+    text = env_text(name).strip()
+    if not text:
+        return default
+    try:
+        return int(text)
+    except ValueError:
+        return default
+
+
+def env_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """Float environment switch (``default`` when unset or malformed)."""
+    text = env_text(name).strip()
+    if not text:
+        return default
+    try:
+        return float(text)
+    except ValueError:
+        return default
+
+
+def spawn_env(**overrides) -> dict:
+    """A copy of this process's environment for spawning worker processes.
+
+    Worker subprocesses (the process pool implicitly, the distributed
+    backend explicitly) must inherit the environment so switches like
+    ``REPRO_FAULT_PLAN`` and ``REPRO_CHECK_INVARIANTS`` reach them.  The
+    copy is made here because this module owns all environment access
+    (rule D105); ``overrides`` are applied on top.
+    """
+    env = dict(os.environ)
+    env.update({k: str(v) for k, v in overrides.items()})
+    return env
+
+
+#: Canonical registry of every environment switch the package reads, in
+#: one place (satellite of issue 8; see docs/SWEEPS.md "Knobs" for the
+#: user-facing table).  Key -> (reader, purpose).
+ENV_SWITCHES = {
+    "REPRO_CACHE_DIR": ("env_text", "sweep result-cache directory"),
+    "REPRO_JOBS": ("env_int", "default worker count for default_jobs()"),
+    "REPRO_SWEEP_BACKEND": (
+        "env_text",
+        "default execution backend (serial | process-pool | distributed)",
+    ),
+    "REPRO_LANES": (
+        "env_text",
+        "default distributed worker lanes, e.g. 'local,4' or "
+        "'10.0.0.2:9123,8;local,2'",
+    ),
+    "REPRO_TRACE_SCALE": ("env_float", "multiplies benchmark trace lengths"),
+    "REPRO_BENCH_CACHE": ("env_flag", "let pytest benchmarks/ use the cache"),
+    "REPRO_CHECK_INVARIANTS": ("env_flag", "sampled simulator invariant checks"),
+    "REPRO_FAULT_PLAN": ("env_text", "armed fault-injection plan (JSON)"),
+    "REPRO_HYPOTHESIS_PROFILE": ("env_text", "hypothesis test profile"),
+    "REPRO_REGEN_GOLDEN": ("env_flag", "regenerate golden test fixtures"),
+}
+
 # Execution latencies (cycles), patterned on Simplescalar/Alpha 21264.
 INT_ALU_LATENCY = 1
 INT_MUL_LATENCY = 7

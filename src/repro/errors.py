@@ -34,6 +34,15 @@ class SweepError(ReproError, RuntimeError):
         return [r for r in self.records if not r.ok]
 
 
+class BackendError(SweepError):
+    """An execution backend could not start or lost its workers entirely.
+
+    Distinct from a per-run failure: the *machinery* is unusable (no
+    worker ever connected, an invalid lane list, a coordinator that died)
+    rather than any particular spec being bad.
+    """
+
+
 class SweepInterrupted(ReproError):
     """A sweep was stopped by SIGINT/SIGTERM after draining in-flight work.
 

@@ -1,0 +1,168 @@
+"""``ProcessPoolExecutor`` backend with crash isolation.
+
+This is the pre-backend ``SweepRunner._run_parallel`` fan-out ported onto
+the :class:`~.base.ExecutionBackend` protocol.  The crash-attribution
+invariant survives the port unchanged:
+
+* at most ``jobs`` futures are ever in flight, so when the pool breaks
+  the in-flight set is exactly the set of suspects;
+* suspects are re-run *one at a time* (the internal probe queue, plus
+  ``submit(..., solo=True)`` resubmissions from the runner) — a spec that
+  breaks the pool while flying solo is provably the culprit, and only
+  then does the backend emit ``crashed=True``;
+* an innocent spec that merely shared the pool with a crasher is never
+  blamed: it silently joins the probe queue and re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sweep import RunRecord, execute_spec
+from .base import BackendEventLog, Completion, ExecutionBackend
+
+#: (index, spec, enqueued-at) triples flowing through the internal queues
+_Item = Tuple[int, object, float]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    kind = "process-pool"
+
+    def __init__(self, jobs: int, timeout: Optional[float] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self._queue: Deque[_Item] = deque()
+        self._probe: Deque[_Item] = deque()  # crash suspects, flown solo
+        self._futures: Dict[object, _Item] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._cancelled = False
+        self._respawns = 0
+        self._log = BackendEventLog(clock0=time.perf_counter())
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._log.emit("backend_start", time.perf_counter(), jobs=self.jobs)
+
+    def submit(self, index: int, spec: object, solo: bool = False) -> None:
+        item = (index, spec, time.perf_counter())
+        (self._probe if solo else self._queue).append(item)
+
+    def cancel(self) -> List[Tuple[int, object]]:
+        self._cancelled = True
+        dropped = [(i, s) for i, s, _ in self._queue]
+        dropped += [(i, s) for i, s, _ in self._probe]
+        self._queue.clear()
+        self._probe.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _respawn(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._broken = False
+        self._respawns += 1
+        self._log.emit("pool_respawn", time.perf_counter(), respawns=self._respawns)
+
+    def _top_up(self) -> None:
+        """Keep the pool saturated; probes fly alone."""
+        while not self._broken and not self._cancelled:
+            if self._probe:
+                if self._futures:
+                    return  # wait for the sky to clear before a solo probe
+                item = self._probe.popleft()
+            elif self._queue and len(self._futures) < self.jobs:
+                item = self._queue.popleft()
+            else:
+                return
+            index, spec, _ = item
+            try:
+                future = self._ensure_pool().submit(execute_spec, spec, self.timeout)
+            except BrokenProcessPool:
+                # pool died before this spec even ran: not a suspect
+                self._broken = True
+                self._queue.appendleft(item)
+                return
+            # queue time starts over at (re)submission, like the old runner
+            self._futures[future] = (index, spec, time.perf_counter())
+
+    def drain(self) -> List[Completion]:
+        completions: List[Completion] = []
+        while not completions:
+            if not (self._queue or self._probe or self._futures):
+                return completions
+            self._top_up()
+            if not self._futures:
+                if self._broken:
+                    self._respawn()
+                    continue
+                if self._cancelled:
+                    return completions
+                continue  # pragma: no cover - defensive; top_up always feeds
+            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, spec, t0 = self._futures.pop(future)
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    self._broken = True
+                    if not self._futures:  # crashed flying solo: guilty
+                        completions.append(
+                            Completion(index, spec, crashed=True, worker=self.kind)
+                        )
+                        continue
+                    self._probe.append((index, spec, t0))
+                    continue
+                except Exception as exc:  # pool-level failure
+                    record = RunRecord(
+                        spec=spec,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                queue_seconds = max(
+                    0.0, time.perf_counter() - t0 - record.duration
+                )
+                completions.append(
+                    Completion(
+                        index, spec, record,
+                        queue_seconds=queue_seconds, worker=self.kind,
+                    )
+                )
+            if self._broken:
+                # the pool is dead; every other in-flight spec is a
+                # suspect — requeue for solo probing, then respawn
+                if self._cancelled:
+                    # draining: suspects are dropped, like queued work
+                    completions.extend(
+                        Completion(i, s, dropped=True)
+                        for i, s, _ in self._futures.values()
+                    )
+                else:
+                    self._probe.extend(self._futures.values())
+                self._futures.clear()
+                self._respawn()
+        return completions
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=not self._broken, cancel_futures=True)
+            self._pool = None
+        self._log.emit("backend_close", time.perf_counter())
+
+    def stats(self):
+        return {
+            "kind": self.kind,
+            "workers": self.jobs,
+            "respawns": self._respawns,
+            "events": list(self._log.events),
+        }

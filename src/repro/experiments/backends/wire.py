@@ -1,0 +1,114 @@
+"""Length-prefixed pickle frames for the distributed sweep protocol.
+
+One frame = 8-byte header (magic + payload length) + pickled payload.
+The conversation is strictly request/response after the worker's opening
+``hello``, so a half-closed or dropped connection is always detectable
+as an EOF at a frame boundary — which is exactly how the coordinator
+attributes worker deaths to the spec the worker was running.
+
+Messages (plain dicts, ``"type"`` discriminated):
+
+========== =========================================== ==================
+type        fields                                      direction
+========== =========================================== ==================
+hello       lane, pid, host, version                    worker → coord
+job         index, spec (RunSpec), timeout              coord  → worker
+result      index, record (RunRecord)                   worker → coord
+shutdown    —                                           coord  → worker
+========== =========================================== ==================
+
+Pickle is safe here for the same reason the process pool may use it:
+both ends are the same code tree run by the same user; the coordinator
+binds to loopback by default and remote lanes are explicit opt-in on
+trusted hosts (see ``docs/SWEEPS.md``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Optional
+
+#: frame header: 4-byte magic + 4-byte big-endian payload length
+MAGIC = b"RSWP"
+_HEADER = struct.Struct("!4sI")
+#: protocol version, carried in ``hello`` — mismatches are refused
+PROTOCOL_VERSION = 1
+#: sanity cap on one frame (a RunRecord with full interval records is
+#: a few MB at most; anything bigger is a corrupted stream)
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class WireError(Exception):
+    """A malformed or oversized frame (protocol corruption)."""
+
+
+def pack(message: object) -> bytes:
+    payload = pickle.dumps(message)
+    if len(payload) > MAX_FRAME:  # pragma: no cover - absurd payload
+        raise WireError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def _parse_header(header: bytes) -> int:
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+    return length
+
+
+# ----------------------------------------------------------------------
+# blocking (worker) side
+
+
+def send(sock, message: object) -> None:
+    sock.sendall(pack(message))
+
+
+def _recv_exact(sock, count: int) -> Optional[bytes]:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None  # EOF
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv(sock) -> Optional[object]:
+    """One message, or ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exact(sock, _parse_header(header))
+    if payload is None:
+        raise WireError("connection died mid-frame")
+    return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# asyncio (coordinator) side
+
+
+async def read_frame(reader) -> Optional[object]:
+    """One message, or ``None`` when the peer is gone (EOF, reset)."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        payload = await reader.readexactly(_parse_header(header))
+    except (EOFError, ConnectionError, OSError):
+        # IncompleteReadError (mid-frame death) subclasses EOFError
+        return None
+    return pickle.loads(payload)
+
+
+async def write_frame(writer, message: object) -> bool:
+    """Send one message; ``False`` (never a raise) when the peer is gone."""
+    try:
+        writer.write(pack(message))
+        await writer.drain()
+        return True
+    except (ConnectionError, OSError):
+        return False

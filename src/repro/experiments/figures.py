@@ -28,7 +28,7 @@ from ..core import ExploreConfig, NoExploreConfig
 from ..workloads.profiles import BENCHMARK_NAMES
 from .reporting import geomean, ipc_table
 from .runner import DEFAULT_SEED, RunResult, scaled_length
-from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok
+from .sweep import ControllerSpec, RunSpec, SweepConfig, SweepRunner, require_ok
 
 #: the two base cases shown in every results figure of the paper
 BASE_SCHEMES = ("static-4", "static-16")
@@ -36,7 +36,7 @@ BASE_SCHEMES = ("static-4", "static-16")
 
 def _serial_runner() -> SweepRunner:
     """The reference path: in-process, no cache, no pool."""
-    return SweepRunner(jobs=1, use_cache=False)
+    return SweepRunner(SweepConfig(backend="serial", use_cache=False))
 
 
 def _standard_schemes() -> Dict[str, ControllerSpec]:

@@ -82,6 +82,8 @@ def format_sweep_metrics(metrics) -> str:
     the field set in sync with ``SweepMetrics.snapshot``.
     """
     rows = [
+        ["backend", metrics.backend.get("kind", "serial")
+                    if metrics.backend else "serial"],
         ["workers", metrics.jobs],
         ["runs completed", metrics.completed],
         ["failed / timed out", f"{metrics.failed} / {metrics.timeouts}"],

@@ -8,11 +8,10 @@ over two billion fast-forwarded instructions).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from ..config import ProcessorConfig, env_text
+from ..config import ProcessorConfig, env_float
 from ..pipeline.processor import ClusteredProcessor
 from ..stats import SimStats
 from ..workloads.generator import Profile, generate_trace
@@ -28,10 +27,8 @@ DEFAULT_SEED = 7
 
 
 def trace_scale() -> float:
-    try:
-        return max(0.1, float(env_text(TRACE_SCALE_ENV, "1")))
-    except ValueError:
-        return 1.0
+    scale = env_float(TRACE_SCALE_ENV)
+    return 1.0 if scale is None else max(0.1, scale)
 
 
 def scaled_length(base: int = DEFAULT_TRACE_LENGTH) -> int:
@@ -62,7 +59,7 @@ def run_trace(
     trace: Trace,
     config: ProcessorConfig,
     controller: Optional[object] = None,
-    *args,
+    *,
     warmup: int = DEFAULT_WARMUP,
     label: str = "",
     steering: Optional[Callable[[object], object]] = None,
@@ -85,25 +82,11 @@ def run_trace(
     (a :class:`repro.resilience.FaultSchedule`) injects cycle-scheduled
     architectural faults; unlike tracing it is *not* passive — it is part
     of the run's identity, exactly like the config.
+
+    The pre-facade spelling ``run_trace(trace, config, controller, warmup,
+    label)`` was removed after its deprecation cycle; everything past the
+    controller is keyword-only (analysis rule L202 guards the signature).
     """
-    if args:
-        # pre-facade spelling: run_trace(trace, config, controller, warmup, label)
-        warnings.warn(
-            "positional warmup/label/steering arguments to run_trace are "
-            "deprecated; pass them by keyword (warmup=, label=, steering=) "
-            "or use repro.api.simulate",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        names = ("warmup", "label", "steering")
-        if len(args) > len(names):
-            raise TypeError(f"run_trace takes at most {3 + len(names)} arguments")
-        defaults = {"warmup": warmup, "label": label, "steering": steering}
-        for name, value in zip(names, args):
-            defaults[name] = value
-        warmup = defaults["warmup"]
-        label = defaults["label"]
-        steering = defaults["steering"]
     processor = ClusteredProcessor(
         trace, config, controller, tracer=tracer, fault_schedule=fault_schedule
     )

@@ -14,13 +14,17 @@ harness) fan out on:
   :class:`~repro.config.ProcessorConfig`, the controller spec, and a digest
   of the simulator's own source tree (so editing the code invalidates
   everything automatically).
-* :class:`SweepRunner` — fans specs out across a ``ProcessPoolExecutor``
-  with per-run timeout and retry, records structured failures instead of
+* :class:`SweepConfig` — one validated dataclass holding every runner
+  knob (backend, parallelism, cache, timeout/retry, journal, tracing).
+* :class:`SweepRunner` — fans specs out across a pluggable
+  :class:`~repro.experiments.backends.ExecutionBackend` (in-process
+  serial, local process pool, or a TCP-distributed worker fleet) with
+  per-run timeout and retry, records structured failures instead of
   crashing the sweep, and exposes progress/latency/utilization metrics.
 
-Determinism is the design constraint: ``SweepRunner(jobs=4)`` must produce
-the same :class:`~repro.stats.SimStats` as ``jobs=1`` and as the plain
-``run_trace`` loop, for the same seeds.
+Determinism is the design constraint: every backend must produce
+the same :class:`~repro.stats.SimStats` as ``SweepConfig(jobs=1)`` and as
+the plain ``run_trace`` loop, for the same seeds.
 
 Fault tolerance is the second design constraint.  A sweep survives —
 always with a structured record, never an unhandled exception — all of:
@@ -56,16 +60,20 @@ import signal
 import tempfile
 import threading
 import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import faults
 from .._version import __version__
-from ..config import ProcessorConfig, env_text
-from ..errors import SimulationError, SweepError, SweepInterrupted
+from ..config import ProcessorConfig, env_int, env_text
+from ..errors import (
+    BackendError,
+    ConfigError,
+    SimulationError,
+    SweepError,
+    SweepInterrupted,
+)
 from ..core import (
     DistantILPController,
     ExploreConfig,
@@ -89,6 +97,10 @@ from .timeline import Reconfiguration, TimelineRecorder
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: environment knob: default worker count for CLI/benchmark sweeps
 JOBS_ENV = "REPRO_JOBS"
+#: environment knob: default execution backend for ``backend="auto"``
+BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+#: environment knob: default worker lanes for the distributed backend
+LANES_ENV = "REPRO_LANES"
 
 #: bump when the cached payload layout changes
 #: (v2: payload carries a SHA-256 checksum of the pickled record, verified
@@ -608,6 +620,9 @@ class SweepMetrics:
     #: positions within the sweep (``end_seconds`` since sweep start,
     #: ``run_seconds`` executing, ``queue_seconds`` waiting for a worker)
     spec_timings: List[Dict] = field(default_factory=list)
+    #: execution-backend telemetry: kind, worker/lane inventory, respawn
+    #: count, and wall-clock lifecycle events (connect/exit/assignment)
+    backend: Dict[str, object] = field(default_factory=dict)
 
     def latency_percentile(self, pct: float) -> float:
         if not self.latencies:
@@ -657,6 +672,7 @@ class SweepMetrics:
             "p50_run_seconds": round(self.p50_seconds, 4),
             "p95_run_seconds": round(self.p95_seconds, 4),
             "specs": list(self.spec_timings),
+            "backend": dict(self.backend),
         }
 
 
@@ -666,12 +682,9 @@ class SweepMetrics:
 
 def default_jobs() -> int:
     """``REPRO_JOBS`` if set, else ``cpu_count - 1`` (min 1)."""
-    env = env_text(JOBS_ENV)
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    jobs = env_int(JOBS_ENV)
+    if jobs is not None:
+        return max(1, jobs)
     return max(1, (os.cpu_count() or 2) - 1)
 
 
@@ -679,50 +692,129 @@ def default_jobs() -> int:
 MAX_RETRY_BACKOFF = 30.0
 
 
+@dataclass(frozen=True)
+class SweepConfig:
+    """Every :class:`SweepRunner` knob, validated, in one place.
+
+    This replaced the runner's grown ``__init__`` kwarg pile; build one
+    and pass it as the runner's single positional argument (the facade
+    :func:`repro.api.sweep` and the CLI both do).  The old keyword
+    spellings still construct one — behind a ``DeprecationWarning`` —
+    for one more release.
+
+    ``backend`` selects the execution mechanism:
+
+    * ``"auto"`` (default) — ``REPRO_SWEEP_BACKEND`` if set; else
+      ``"distributed"`` when ``lanes`` is given; else ``"serial"`` for
+      ``jobs <= 1`` and ``"process-pool"`` otherwise — exactly the old
+      behaviour.
+    * ``"serial"`` / ``"process-pool"`` / ``"distributed"`` — explicit.
+    * an :class:`~repro.experiments.backends.ExecutionBackend` instance —
+      escape hatch for tests and custom executors (single-use).
+
+    ``lanes`` is the distributed worker-lane list (``"local,4"``,
+    ``"host:port,slots"``, ``;``-separated; default ``REPRO_LANES`` or
+    one local lane with ``jobs`` slots).  All backends produce
+    bit-identical records for identical specs.
+    """
+
+    backend: Union[str, object] = "auto"
+    jobs: Optional[int] = None
+    lanes: Optional[str] = None
+    cache_dir: Optional[os.PathLike] = None
+    use_cache: bool = True
+    timeout: Optional[float] = None
+    retries: int = 1
+    retry_backoff: float = 0.0
+    journal: Optional[object] = None
+    resume: bool = False
+    poison_threshold: int = 3
+    trace_dir: Optional[os.PathLike] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.backend, str):
+            from .backends import BACKEND_KINDS
+
+            if self.backend not in ("auto",) + BACKEND_KINDS:
+                raise ConfigError(
+                    f"unknown backend {self.backend!r}; choose from "
+                    f"{('auto',) + BACKEND_KINDS} or pass an "
+                    "ExecutionBackend instance"
+                )
+        elif not all(
+            callable(getattr(self.backend, method, None))
+            for method in ("submit", "drain", "cancel")
+        ):
+            raise ConfigError(
+                f"backend must be a name or an ExecutionBackend, "
+                f"got {type(self.backend).__name__}"
+            )
+        if self.jobs is not None and int(self.jobs) < 0:
+            raise ConfigError(f"jobs must be >= 0, got {self.jobs!r}")
+        if self.timeout is not None and not float(self.timeout) > 0:
+            raise ConfigError(f"timeout must be positive, got {self.timeout!r}")
+        if int(self.retries) < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries!r}")
+        if float(self.retry_backoff) < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff!r}"
+            )
+        if int(self.poison_threshold) < 1:
+            raise ConfigError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold!r}"
+            )
+
+    def resolved_jobs(self) -> int:
+        """Worker count after defaults (``REPRO_JOBS``/CPU count)."""
+        return default_jobs() if self.jobs is None else max(1, int(self.jobs))
+
+    def resolved_lanes(self) -> Optional[str]:
+        if self.lanes is not None:
+            return self.lanes
+        return env_text(LANES_ENV) or None
+
+    def resolved_backend(self) -> Union[str, object]:
+        """The concrete backend after ``"auto"`` resolution."""
+        if not isinstance(self.backend, str) or self.backend != "auto":
+            return self.backend
+        env = env_text(BACKEND_ENV)
+        if env:
+            return env
+        if self.resolved_lanes() is not None:
+            return "distributed"
+        return "serial" if self.resolved_jobs() <= 1 else "process-pool"
+
+
+#: pre-SweepConfig keyword spellings the deprecation shim still maps
+_LEGACY_RUNNER_KWARGS = frozenset(
+    {
+        "jobs", "cache_dir", "use_cache", "timeout", "retries",
+        "retry_backoff", "journal", "resume", "poison_threshold",
+        "trace_dir",
+    }
+)
+
+
 class SweepRunner:
-    """Fan independent :class:`RunSpec` runs out across worker processes.
+    """Fan independent :class:`RunSpec` runs out across an execution backend.
 
-    ``jobs=1`` (or 0) runs everything in-process — no pool, no pickling —
-    which is also the reference path for the determinism guarantee.
+    The runner owns *policy* — caching, journal/resume, retry with
+    backoff, crash counting and quarantine, signal draining, metrics —
+    and delegates *mechanism* (actually running specs) to an
+    :class:`~repro.experiments.backends.ExecutionBackend` chosen by
+    ``config.backend``: in-process serial (the determinism oracle), a
+    local process pool, or a TCP-distributed worker fleet.  All three
+    yield bit-identical records.
 
-    Parameters
-    ----------
-    jobs:
-        Worker processes; default :func:`default_jobs`.
-    cache_dir / use_cache:
-        Result cache location (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)
-        and whether to consult it at all.
-    timeout:
-        Per-run wall-clock limit in seconds (``None`` = unbounded).
-    retries:
-        Extra attempts per failed/timed-out run before recording the
-        structured failure.
-    retry_backoff:
-        Base seconds of exponential backoff between retries: before
-        attempt ``n+1`` the runner sleeps ``uniform(0, base * 2**(n-1))``
-        (full jitter), capped at :data:`MAX_RETRY_BACKOFF`.  ``0`` (the
-        default) retries immediately — right for deterministic in-process
-        failures, wrong for flaky shared infrastructure.
-    journal:
-        A :class:`~repro.experiments.journal.SweepJournal` (or a path to
-        one): every final record is durably appended, so a killed sweep
-        can be resumed.
-    resume:
-        Skip specs whose successful records are already in the journal.
-    poison_threshold:
-        Solo worker crashes a spec may cause before it is quarantined with
-        ``status="poisoned"``.
-    progress:
-        Optional callable invoked after every completed run with a dict
-        (``profile``, ``label``, ``status``, ``from_cache``, ``duration``,
-        ``completed``, ``total``).
-    trace_dir:
-        Directory receiving the sweep's observability artifacts after the
-        run: ``sweep_metrics.json`` (the :meth:`SweepMetrics.snapshot`
-        with per-spec timings) and ``sweep_trace.json`` (Chrome
-        trace-event spans of every executed run, lane-packed — open in
-        Perfetto to see worker utilization).  Written even when the sweep
-        is interrupted, so a drained sweep can still be inspected.
+    Construct with a single :class:`SweepConfig`::
+
+        runner = SweepRunner(SweepConfig(jobs=4, use_cache=False))
+
+    ``progress`` (a callable receiving a dict per completed run) stays a
+    direct keyword — it is not part of the sweep's declarative identity.
+    The pre-``SweepConfig`` keyword pile (``jobs=``, ``use_cache=``,
+    ``timeout=``, ...) still works for one release behind a
+    ``DeprecationWarning``.
 
     While ``run()`` executes on the main thread, SIGINT/SIGTERM request a
     *drain*: no new work starts, in-flight runs finish and are journaled,
@@ -732,41 +824,84 @@ class SweepRunner:
 
     def __init__(
         self,
-        jobs: Optional[int] = None,
-        cache_dir: Optional[os.PathLike] = None,
-        use_cache: bool = True,
-        timeout: Optional[float] = None,
-        retries: int = 1,
-        retry_backoff: float = 0.0,
-        journal: Optional[object] = None,
-        resume: bool = False,
-        poison_threshold: int = 3,
+        config: Optional[SweepConfig] = None,
+        *,
         progress: Optional[Callable[[Dict], None]] = None,
-        trace_dir: Optional[os.PathLike] = None,
+        **legacy,
     ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
-        self.use_cache = use_cache
-        self.cache = ResultCache(cache_dir) if use_cache else None
-        self.timeout = timeout
-        self.retries = max(0, int(retries))
-        self.retry_backoff = max(0.0, float(retry_backoff))
+        if config is not None and not isinstance(config, SweepConfig):
+            # positional jobs from the pre-SweepConfig signature
+            legacy.setdefault("jobs", config)
+            config = None
+        if legacy:
+            unknown = set(legacy) - _LEGACY_RUNNER_KWARGS
+            if unknown:
+                raise TypeError(
+                    f"SweepRunner got unexpected arguments {sorted(unknown)}; "
+                    "pass a SweepConfig"
+                )
+            warnings.warn(
+                "SweepRunner keyword arguments are deprecated; pass a "
+                "SweepConfig: SweepRunner(SweepConfig("
+                + ", ".join(f"{k}=..." for k in sorted(legacy))
+                + "))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # normalize the historical permissive spellings before the
+            # stricter SweepConfig validation sees them
+            if legacy.get("jobs") is not None:
+                legacy["jobs"] = max(1, int(legacy["jobs"]))
+            if "retries" in legacy:
+                legacy["retries"] = max(0, int(legacy["retries"]))
+            if "retry_backoff" in legacy:
+                legacy["retry_backoff"] = max(0.0, float(legacy["retry_backoff"]))
+            if "poison_threshold" in legacy:
+                legacy["poison_threshold"] = max(1, int(legacy["poison_threshold"]))
+            config = replace(config or SweepConfig(), **legacy)
+        self.config = config or SweepConfig()
+        self.jobs = self.config.resolved_jobs()
+        self.use_cache = self.config.use_cache
+        self.cache = ResultCache(self.config.cache_dir) if self.use_cache else None
+        self.timeout = self.config.timeout
+        self.retries = int(self.config.retries)
+        self.retry_backoff = float(self.config.retry_backoff)
         # Fixed-seed RNG: jitter only needs to decorrelate successive
         # retries, and an ambient random.uniform() would make the one
         # nondeterministic corner of the sweep engine (flagged by D101)
         self._backoff_rng = random.Random(0x0B5EED)
+        journal = self.config.journal
         if journal is not None and not isinstance(journal, SweepJournal):
             journal = SweepJournal(journal)
         self.journal: Optional[SweepJournal] = journal
-        self.resume = resume
-        self.poison_threshold = max(1, int(poison_threshold))
+        self.resume = self.config.resume
+        self.poison_threshold = int(self.config.poison_threshold)
         self.progress = progress
-        self.trace_dir = trace_dir
+        self.trace_dir = self.config.trace_dir
         self.metrics = SweepMetrics(jobs=self.jobs)
         self._drain_requested = False
         self._journaled_keys: set = set()
         # wall-clock bookkeeping for per-spec timings (relative seconds)
         self._clock0 = time.perf_counter()
-        self._submitted_at: Dict[int, float] = {}
+
+    def _make_backend(self):
+        """Build (or adopt) the execution backend for one ``run()``."""
+        from .backends import ExecutionBackend, create_backend
+
+        resolved = self.config.resolved_backend()
+        if isinstance(resolved, ExecutionBackend) or not isinstance(resolved, str):
+            return resolved
+        backend = create_backend(
+            resolved,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            lanes=self.config.resolved_lanes(),
+        )
+        # align backend lifecycle timestamps with the sweep's span clock
+        log = getattr(backend, "_log", None)
+        if log is not None:
+            log.clock0 = self._clock0
+        return backend
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -781,7 +916,6 @@ class SweepRunner:
         self.metrics.submitted += len(specs)
         records: List[Optional[RunRecord]] = [None] * len(specs)
         self._drain_requested = False
-        self._submitted_at = {}
 
         journaled: Dict[str, RunRecord] = {}
         if self.journal is not None and self.resume:
@@ -811,10 +945,7 @@ class SweepRunner:
 
         with self._signal_drain():
             if pending:
-                if self.jobs <= 1:
-                    self._run_serial(pending, records)
-                else:
-                    self._run_parallel(pending, records)
+                self._execute(pending, records)
 
         self.metrics.wall_seconds += time.perf_counter() - start
         self._export_trace()
@@ -868,7 +999,8 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _finish(self, index: int, record: RunRecord, attempts: int,
-                records: List[Optional[RunRecord]]) -> None:
+                records: List[Optional[RunRecord]],
+                queue_seconds: float = 0.0) -> None:
         record.attempts = attempts
         records[index] = record
         if record.ok and self.cache:
@@ -877,7 +1009,7 @@ class SweepRunner:
             except Exception:
                 pass  # a read-only cache dir must not kill the sweep
         self._journal_append(record)
-        self._note_done(record, submitted_at=self._submitted_at.pop(index, None))
+        self._note_done(record, queue_seconds=queue_seconds)
 
     def _journal_append(self, record: RunRecord) -> None:
         if self.journal is None:
@@ -894,7 +1026,7 @@ class SweepRunner:
             self.metrics.journal_errors += 1
 
     def _note_done(
-        self, record: RunRecord, submitted_at: Optional[float] = None
+        self, record: RunRecord, queue_seconds: float = 0.0
     ) -> None:
         m = self.metrics
         m.completed += 1
@@ -908,11 +1040,9 @@ class SweepRunner:
             m.busy_seconds += record.duration
             m.latencies.append(record.duration)
         end = time.perf_counter() - self._clock0
-        # queue time = time between pool submission and completion that was
-        # not spent executing (zero for serial/cache/journal completions)
-        queue = 0.0
-        if submitted_at is not None:
-            queue = max(0.0, end - submitted_at - record.duration)
+        # queue time = time between backend submission and execution that
+        # was not spent running (zero for serial/cache/journal completions)
+        queue = max(0.0, queue_seconds)
         m.spec_timings.append(
             {
                 "profile": record.spec.profile,
@@ -970,8 +1100,24 @@ class SweepRunner:
             for timing in self.metrics.spec_timings
             if not timing["from_cache"] and not timing["from_journal"]
         ]
+        trace = spans_chrome_trace(spans)
+        # backend lifecycle (worker spawn/connect/death, lane assignments)
+        # as Perfetto instant events on a dedicated pseudo-thread
+        for event in self.metrics.backend.get("events", ()):
+            details = {k: v for k, v in event.items() if k not in ("event", "t")}
+            trace["traceEvents"].append(
+                {
+                    "name": str(event.get("event", "backend")),
+                    "ph": "i",
+                    "ts": int(float(event.get("t", 0.0)) * 1e6),
+                    "pid": 0,
+                    "tid": 999,
+                    "s": "p",
+                    "args": details,
+                }
+            )
         with open(directory / "sweep_trace.json", "w", encoding="utf-8") as fh:
-            json.dump(spans_chrome_trace(spans), fh)
+            json.dump(trace, fh)
 
     def _backoff(self, attempt: int) -> None:
         """Exponential backoff with full jitter before retry ``attempt+1``."""
@@ -982,127 +1128,94 @@ class SweepRunner:
         )
         time.sleep(self._backoff_rng.uniform(0, ceiling))
 
-    def _run_serial(self, pending, records) -> None:
-        for index, spec in pending:
-            if self._drain_requested:
-                return
-            attempts = 0
-            while True:
-                attempts += 1
-                record = execute_spec(spec, self.timeout)
-                if record.ok or attempts > self.retries or self._drain_requested:
-                    break
-                self.metrics.retries += 1
-                self._backoff(attempts)
-            self._finish(index, record, attempts, records)
+    def _execute(self, pending, records) -> None:
+        """Run ``pending`` specs through the execution backend.
 
-    def _run_parallel(self, pending, records) -> None:
-        """Pool fan-out with crash isolation.
-
-        At most ``jobs`` futures are in flight (the runner throttles its
-        own submissions), so when the pool breaks the in-flight set is
-        exactly the set of specs that might have killed the worker.  Those
-        suspects are re-run *one at a time* after the respawn: a spec that
-        crashes the pool while flying solo is provably the culprit, so
-        blame — and eventual quarantine — never lands on an innocent spec
-        that merely shared the pool with a crasher.
+        The backend supplies mechanism (and ``crashed=True`` attribution:
+        a crashed completion means the spec provably killed its worker);
+        this loop supplies policy — retry with backoff, crash counting
+        and quarantine at ``poison_threshold``, and drain-on-signal
+        (queued work is cancelled, in-flight work completes and is
+        journaled).
         """
-        queue: Deque[Tuple[int, RunSpec]] = deque(pending)
-        probe: Deque[Tuple[int, RunSpec]] = deque()  # crash suspects, run solo
+        backend = self._make_backend()
         attempts: Dict[int, int] = {}
         crashes: Dict[int, int] = {}
-
-        while queue or probe:
-            if self._drain_requested:
-                return
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
-            futures: Dict[object, Tuple[int, RunSpec]] = {}
-            broken = False
-
-            def top_up() -> None:
-                # probes fly alone; otherwise keep the pool saturated
-                nonlocal broken
-                while not self._drain_requested and not broken:
-                    if probe:
-                        if futures:
-                            return
-                        index, spec = probe.popleft()
-                    elif queue and len(futures) < self.jobs:
-                        index, spec = queue.popleft()
-                    else:
-                        return
-                    try:
-                        self._submitted_at[index] = (
-                            time.perf_counter() - self._clock0
+        outstanding = 0
+        cancelled = False
+        try:
+            backend.start()
+            for index, spec in pending:
+                backend.submit(index, spec)
+                outstanding += 1
+            while outstanding:
+                if self._drain_requested and not cancelled:
+                    outstanding -= len(backend.cancel())
+                    cancelled = True
+                    continue
+                completions = backend.drain()
+                if not completions:
+                    if outstanding:  # pragma: no cover - defensive
+                        raise BackendError(
+                            f"backend {backend.kind!r} lost track of "
+                            f"{outstanding} outstanding spec(s)"
                         )
-                        futures[pool.submit(execute_spec, spec, self.timeout)] = (
-                            index,
-                            spec,
-                        )
-                    except BrokenProcessPool:
-                        # pool died before this spec even ran: not a suspect
-                        broken = True
-                        queue.appendleft((index, spec))
-                        return
-
-            try:
-                top_up()
-                while futures:
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index, spec = futures.pop(future)
-                        try:
-                            record = future.result()
-                        except BrokenProcessPool:
-                            broken = True
-                            if not futures:  # crashed flying solo: guilty
-                                crashes[index] = crashes.get(index, 0) + 1
-                                if crashes[index] >= self.poison_threshold:
-                                    self._finish(
-                                        index,
-                                        RunRecord(
-                                            spec=spec,
-                                            status="poisoned",
-                                            error=(
-                                                "crashed the worker process "
-                                                f"{crashes[index]} times; "
-                                                "quarantined"
-                                            ),
-                                        ),
-                                        attempts.get(index, 0) + crashes[index],
-                                        records,
-                                    )
-                                    continue
-                            probe.append((index, spec))
-                            continue
-                        except Exception as exc:  # pool-level failure
-                            record = RunRecord(
-                                spec=spec,
-                                status="failed",
-                                error=f"{type(exc).__name__}: {exc}",
+                    break
+                for done in completions:
+                    outstanding -= 1
+                    index, spec = done.index, done.spec
+                    if done.dropped:
+                        continue  # discarded during a drain; slot stays empty
+                    if done.crashed:
+                        crashes[index] = crashes.get(index, 0) + 1
+                        if self._drain_requested:
+                            continue  # draining: crashers are not re-probed
+                        if crashes[index] >= self.poison_threshold:
+                            self._finish(
+                                index,
+                                RunRecord(
+                                    spec=spec,
+                                    status="poisoned",
+                                    error=(
+                                        "crashed the worker process "
+                                        f"{crashes[index]} times; quarantined"
+                                    ),
+                                ),
+                                attempts.get(index, 0) + crashes[index],
+                                records,
                             )
-                        attempts[index] = attempts.get(index, 0) + 1
-                        if (
-                            not record.ok
-                            and attempts[index] <= self.retries
-                            and not self._drain_requested
-                        ):
-                            self.metrics.retries += 1
-                            self._backoff(attempts[index])
-                            queue.append((index, spec))
                             continue
-                        self._finish(index, record, attempts[index], records)
-                    if broken:
-                        # the pool is dead; every other in-flight spec is a
-                        # suspect — requeue for solo probing, then respawn
-                        probe.extend(futures.values())
-                        futures.clear()
-                        break
-                    top_up()
-            finally:
-                if broken:
-                    self.metrics.pool_respawns += 1
-                pool.shutdown(wait=not broken, cancel_futures=True)
+                        backend.submit(index, spec, solo=True)
+                        outstanding += 1
+                        continue
+                    record = done.record
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if (
+                        not record.ok
+                        and attempts[index] <= self.retries
+                        and not self._drain_requested
+                    ):
+                        self.metrics.retries += 1
+                        self._backoff(attempts[index])
+                        backend.submit(index, spec)
+                        outstanding += 1
+                        continue
+                    self._finish(
+                        index, record, attempts[index], records,
+                        queue_seconds=done.queue_seconds,
+                    )
+        finally:
+            info = {}
+            try:
+                info = backend.stats()
+            except Exception:  # pragma: no cover - telemetry must not kill
+                pass
+            backend.close()
+            self.metrics.pool_respawns += int(info.get("respawns", 0) or 0)
+            workers = info.get("workers")
+            if workers:  # utilization denominator: real worker slots
+                self.metrics.jobs = max(self.metrics.jobs, int(workers))
+            self.metrics.backend = info
 
 
 def require_ok(records: Sequence[RunRecord]) -> List[RunRecord]:

@@ -10,7 +10,7 @@ from ..core.phase import PhaseDetectConfig
 from ..workloads.profiles import BENCHMARK_NAMES, PAPER_TABLE3, PAPER_TABLE4
 from .reporting import format_table
 from .runner import RunResult, scaled_length
-from .sweep import ControllerSpec, RunSpec, SweepRunner, require_ok
+from .sweep import ControllerSpec, RunSpec, SweepConfig, SweepRunner, require_ok
 
 
 def table3(
@@ -19,7 +19,7 @@ def table3(
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, RunResult]:
     """Monolithic-baseline IPC and mispredict interval per benchmark."""
-    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    runner = runner or SweepRunner(SweepConfig(jobs=1, use_cache=False))
     length = trace_length if trace_length is not None else scaled_length()
     specs = [
         RunSpec(
@@ -72,7 +72,7 @@ def table4(
     the cheap offline reanalysis stays in-process.
     """
     detect = detect or PhaseDetectConfig(ipc_tolerance=0.20)
-    runner = runner or SweepRunner(jobs=1, use_cache=False)
+    runner = runner or SweepRunner(SweepConfig(jobs=1, use_cache=False))
     length = trace_length if trace_length is not None else scaled_length()
     specs = [
         RunSpec(

@@ -17,7 +17,6 @@ there is no per-cycle polling of the memory system or the interconnect.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..clusters.cluster import Cluster
@@ -636,7 +635,7 @@ class ClusteredProcessor:
 def simulate(
     trace: Trace,
     config: ProcessorConfig,
-    *args,
+    *,
     controller: Optional[object] = None,
     max_instructions: Optional[int] = None,
     steering: Optional[SteeringHeuristic] = None,
@@ -646,26 +645,8 @@ def simulate(
     This is the engine-level entry point; prefer :func:`repro.api.simulate`
     for the stable facade.  ``controller``/``max_instructions``/``steering``
     are keyword-only (the unified vocabulary); the pre-facade positional
-    spelling still works but emits a :class:`DeprecationWarning`.
+    spelling was removed after its deprecation cycle (analysis rule L202
+    guards against its return).
     """
-    if args:
-        warnings.warn(
-            "positional controller/max_instructions/steering arguments to "
-            "simulate are deprecated; pass them by keyword (controller=, "
-            "max_instructions=, steering=) or use repro.api.simulate",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        names = ("controller", "max_instructions", "steering")
-        if len(args) > len(names):
-            raise TypeError("simulate takes at most 5 arguments")
-        legacy = {"controller": controller,
-                  "max_instructions": max_instructions,
-                  "steering": steering}
-        for name, value in zip(names, args):
-            legacy[name] = value
-        controller = legacy["controller"]
-        max_instructions = legacy["max_instructions"]
-        steering = legacy["steering"]
     processor = ClusteredProcessor(trace, config, controller, steering)
     return processor.run(max_instructions)

@@ -147,3 +147,41 @@ class TestL202LegacySpellings:
             """,
         }, select=["L202"])
         assert found == []
+
+    def test_reintroduced_vararg_shim_flagged(self, findings_of):
+        # the entry-point definitions may not grow the *args remap back
+        found = findings_of({
+            "repro/pipeline/processor.py": """
+                def simulate(trace, config, *args, controller=None):
+                    return None
+            """,
+        }, select=["L202"])
+        assert [f.rule for f in found] == ["L202"]
+        assert "vararg" in found[0].message
+
+    def test_keyword_only_entry_point_def_ok(self, findings_of):
+        found = findings_of({
+            "repro/pipeline/processor.py": """
+                def simulate(trace, config, *, controller=None):
+                    return None
+            """,
+            "repro/experiments/runner.py": """
+                def run_trace(trace, config, controller=None, *, warmup=0):
+                    return None
+            """,
+        }, select=["L202"])
+        assert found == []
+
+    def test_vararg_elsewhere_ok(self, findings_of):
+        # *args on a non-entry-point def (or another module's simulate
+        # lookalike) is none of L202's business
+        found = findings_of({
+            "repro/experiments/local.py": """
+                def simulate(trace, *args):
+                    return None
+
+                def helper(*args, **kwargs):
+                    return None
+            """,
+        }, select=["L202"])
+        assert found == []

@@ -19,7 +19,7 @@ import repro
 from repro import faults
 from repro.config import default_config
 from repro.errors import SweepInterrupted
-from repro.experiments.sweep import ControllerSpec, RunSpec, SweepRunner
+from repro.experiments.sweep import ControllerSpec, RunSpec, SweepConfig, SweepRunner
 
 LEN = 3_000
 SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -58,7 +58,7 @@ class TestKillAndResume:
         """
         import os, pickle, signal, sys
 
-        from repro.experiments.sweep import SweepRunner
+        from repro.experiments.sweep import SweepConfig, SweepRunner
 
         with open(sys.argv[1], "rb") as fh:
             specs = pickle.load(fh)
@@ -70,8 +70,7 @@ class TestKillAndResume:
             if done == 2:  # two records journaled, then die mid-sweep
                 os.kill(os.getpid(), signal.SIGKILL)
 
-        runner = SweepRunner(jobs=1, use_cache=False, journal=sys.argv[2],
-                             progress=hook)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=sys.argv[2]), progress=hook)
         runner.run(specs)
         """
     )
@@ -93,13 +92,12 @@ class TestKillAndResume:
         assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
         assert journal_path.exists()
 
-        resumed = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                              resume=True)
+        resumed = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         records = resumed.run(specs)
         assert resumed.metrics.journal_skips == 2
         assert [r.from_journal for r in records] == [True, True, False, False]
 
-        reference = SweepRunner(jobs=1, use_cache=False).run(specs)
+        reference = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(specs)
         assert snapshot(records) == snapshot(reference)
         assert [r.events for r in records] == [r.events for r in reference]
 
@@ -116,20 +114,18 @@ class TestSignalDrain:
             if event["completed"] == 1:
                 os.kill(os.getpid(), signal.SIGINT)
 
-        runner = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                             progress=interrupt_after_first)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path), progress=interrupt_after_first)
         with pytest.raises(SweepInterrupted) as excinfo:
             runner.run(specs)
         partial = excinfo.value.completed
         assert 1 <= len(partial) < len(specs)
         assert all(r.ok for r in partial)
 
-        resumed = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                              resume=True)
+        resumed = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         records = resumed.run(specs)
         assert resumed.metrics.journal_skips == len(partial)
 
-        reference = SweepRunner(jobs=1, use_cache=False).run(specs)
+        reference = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(specs)
         assert snapshot(records) == snapshot(reference)
 
 
@@ -161,20 +157,18 @@ class TestFaultedSignalDrain:
             if event["completed"] == 1:
                 os.kill(os.getpid(), signum)
 
-        runner = SweepRunner(jobs=2, use_cache=False, journal=journal_path,
-                             progress=interrupt_after_first)
+        runner = SweepRunner(SweepConfig(jobs=2, use_cache=False, journal=journal_path), progress=interrupt_after_first)
         with pytest.raises(SweepInterrupted) as excinfo:
             runner.run(specs)
         partial = excinfo.value.completed
         assert 1 <= len(partial) < len(specs)
         assert all(r.ok for r in partial)
 
-        resumed = SweepRunner(jobs=2, use_cache=False, journal=journal_path,
-                              resume=True)
+        resumed = SweepRunner(SweepConfig(jobs=2, use_cache=False, journal=journal_path, resume=True))
         records = resumed.run(specs)
         assert resumed.metrics.journal_skips == len(partial)
 
-        reference = SweepRunner(jobs=2, use_cache=False).run(specs)
+        reference = SweepRunner(SweepConfig(jobs=2, use_cache=False)).run(specs)
         assert snapshot(records) == snapshot(reference)
         for record in records:
             assert record.result.stats.faults_injected == 3
@@ -192,7 +186,7 @@ class TestWorkerCrash:
                 crash_profiles=("swim",), crash_token_dir=str(token_dir)
             )
         )
-        runner = SweepRunner(jobs=2, use_cache=False)
+        runner = SweepRunner(SweepConfig(jobs=2, use_cache=False))
         records = runner.run([spec_for(p) for p in ("gzip", "swim", "vpr")])
         assert [r.status for r in records] == ["ok", "ok", "ok"]
         assert runner.metrics.pool_respawns >= 1
@@ -202,8 +196,7 @@ class TestWorkerCrash:
         """A spec that kills every worker it touches ends up poisoned, and
         the innocents that shared the pool with it still complete."""
         faults.set_fault_plan(faults.FaultPlan(crash_profiles=("swim",)))
-        runner = SweepRunner(jobs=2, use_cache=False, retries=0,
-                             poison_threshold=2)
+        runner = SweepRunner(SweepConfig(jobs=2, use_cache=False, retries=0, poison_threshold=2))
         records = runner.run([spec_for(p) for p in ("gzip", "swim", "vpr")])
         by_profile = {r.spec.profile: r for r in records}
         assert by_profile["swim"].status == "poisoned"
@@ -216,7 +209,7 @@ class TestWorkerCrash:
         """jobs=1 runs in-process; the crash fault must refuse to kill the
         test runner and surface as a structured failure instead."""
         faults.set_fault_plan(faults.FaultPlan(crash_profiles=("gzip",)))
-        [record] = SweepRunner(jobs=1, use_cache=False, retries=0).run(
+        [record] = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0)).run(
             [spec_for("gzip")]
         )
         assert record.status == "failed"
@@ -226,7 +219,7 @@ class TestWorkerCrash:
 class TestCacheCorruption:
     def test_corrupt_write_is_detected_and_recomputed(self, tmp_path):
         faults.set_fault_plan(faults.FaultPlan(corrupt_cache_writes=True))
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         [first] = runner.run([spec_for("gzip")])
         assert first.ok
         assert list(tmp_path.glob("*.pkl"))  # a (corrupt) entry was written
@@ -251,7 +244,7 @@ class TestResultPoisoning:
         """A run that *completes* with NaN stats must become a structured
         failure — silent NaN in an exhibit is the worst outcome."""
         faults.set_fault_plan(faults.FaultPlan(nan_profiles=("gzip",)))
-        runner = SweepRunner(jobs=1, use_cache=False, retries=0)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0))
         records = runner.run([spec_for("gzip"), spec_for("swim")])
         assert records[0].status == "failed"
         assert "IPC" in records[0].error
@@ -263,7 +256,7 @@ class TestHang:
         faults.set_fault_plan(
             faults.FaultPlan(hang_profiles=("gzip",), hang_seconds=5.0)
         )
-        runner = SweepRunner(jobs=1, use_cache=False, retries=0, timeout=0.2)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0, timeout=0.2))
         [record] = runner.run([spec_for("gzip")])
         assert record.status == "timeout"
 
@@ -331,8 +324,7 @@ class TestFaultPlanTransport:
                 original(spec)
 
         monkeypatch.setattr(faults, "on_execute", fails_once)
-        runner = SweepRunner(jobs=1, use_cache=False, retries=1,
-                             retry_backoff=0.001)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=1, retry_backoff=0.001))
         [record] = runner.run([spec_for("gzip")])
         assert record.ok
         assert record.attempts == 2

@@ -19,7 +19,7 @@ import pytest
 
 from repro.experiments.figures import figure3, figure5
 from repro.experiments.reporting import geomean
-from repro.experiments.sweep import SweepRunner
+from repro.experiments.sweep import SweepConfig, SweepRunner
 from repro.experiments.tables import table3
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent.parent / "results"
@@ -348,7 +348,7 @@ class TestMiniTable3:
 
 @pytest.mark.slow
 class TestFig5SweepAcceptance:
-    """The PR acceptance criterion: fig5 through SweepRunner(jobs=4) is
+    """The PR acceptance criterion: fig5 through SweepRunner(SweepConfig(jobs=4)) is
     identical to the serial path, and a second invocation is >= 5x faster
     through cache hits."""
 
@@ -358,7 +358,7 @@ class TestFig5SweepAcceptance:
     def test_parallel_identical_then_cached_fast(self, tmp_path):
         serial = figure5(benchmarks=self.BENCHES, trace_length=self.LEN)
 
-        parallel_runner = SweepRunner(jobs=4, cache_dir=tmp_path, use_cache=True)
+        parallel_runner = SweepRunner(SweepConfig(jobs=4, cache_dir=tmp_path, use_cache=True))
         t0 = time.perf_counter()
         parallel = figure5(
             benchmarks=self.BENCHES, trace_length=self.LEN, runner=parallel_runner
@@ -371,7 +371,7 @@ class TestFig5SweepAcceptance:
                 assert parallel[bench][scheme].ipc == result.ipc, (bench, scheme)
                 assert parallel[bench][scheme].committed == result.committed
 
-        cached_runner = SweepRunner(jobs=4, cache_dir=tmp_path, use_cache=True)
+        cached_runner = SweepRunner(SweepConfig(jobs=4, cache_dir=tmp_path, use_cache=True))
         t0 = time.perf_counter()
         cached = figure5(
             benchmarks=self.BENCHES, trace_length=self.LEN, runner=cached_runner

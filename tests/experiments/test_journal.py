@@ -8,7 +8,13 @@ import pytest
 
 from repro.config import default_config
 from repro.experiments.journal import JOURNAL_SCHEMA_VERSION, SweepJournal
-from repro.experiments.sweep import ControllerSpec, RunRecord, RunSpec, SweepRunner
+from repro.experiments.sweep import (
+    ControllerSpec,
+    RunRecord,
+    RunSpec,
+    SweepConfig,
+    SweepRunner,
+)
 
 LEN = 3_000
 
@@ -27,7 +33,7 @@ def spec_for(profile="gzip", clusters=4, **kw):
 @pytest.fixture()
 def completed_records():
     """Two real completed records (one per profile), computed once."""
-    runner = SweepRunner(jobs=1, use_cache=False)
+    runner = SweepRunner(SweepConfig(jobs=1, use_cache=False))
     return runner.run([spec_for("gzip"), spec_for("swim")])
 
 
@@ -137,8 +143,7 @@ class TestCorruptionTolerance:
 class TestRunnerIntegration:
     def test_runner_journals_every_final_record(self, tmp_path):
         journal_path = tmp_path / "sweep.jsonl"
-        runner = SweepRunner(jobs=1, use_cache=False, retries=0,
-                             journal=journal_path)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0, journal=journal_path))
         runner.run([spec_for("gzip"), spec_for(profile="not-a-benchmark")])
         journal = SweepJournal(journal_path)
         loaded = journal.load()
@@ -150,17 +155,15 @@ class TestRunnerIntegration:
         journal_path = tmp_path / "sweep.jsonl"
         specs = [spec_for("gzip"), spec_for("swim"), spec_for("vpr")]
         # first attempt completes only the first two specs
-        first = SweepRunner(jobs=1, use_cache=False, journal=journal_path)
+        first = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path))
         first.run(specs[:2])
-        resumed = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                              resume=True)
+        resumed = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         records = resumed.run(specs)
         assert [r.status for r in records] == ["ok", "ok", "ok"]
         assert [r.from_journal for r in records] == [True, True, False]
         assert resumed.metrics.journal_skips == 2
         # the third run was appended, so a further resume skips all three
-        third = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                            resume=True)
+        third = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         third.run(specs)
         assert third.metrics.journal_skips == 3
 
@@ -169,8 +172,7 @@ class TestRunnerIntegration:
         spec = spec_for("gzip")
         journal = SweepJournal(journal_path)
         journal.append(RunRecord(spec=spec, status="failed", error="transient"))
-        runner = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                             resume=True)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         [record] = runner.run([spec])
         assert record.ok and not record.from_journal
         assert runner.metrics.journal_skips == 0
@@ -180,10 +182,9 @@ class TestRunnerIntegration:
 
         journal_path = tmp_path / "sweep.jsonl"
         base = spec_for("gzip")
-        SweepRunner(jobs=1, use_cache=False, journal=journal_path).run([base])
+        SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path)).run([base])
         other = dataclasses.replace(base, label="another-exhibit")
-        runner = SweepRunner(jobs=1, use_cache=False, journal=journal_path,
-                             resume=True)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=journal_path, resume=True))
         [record] = runner.run([other])
         assert record.from_journal
         assert record.result.label == "another-exhibit"
@@ -193,7 +194,7 @@ class TestRunnerIntegration:
         # (chmod tricks don't work here: the test suite may run as root)
         (tmp_path / "blocker").write_text("")
         target = tmp_path / "blocker" / "sweep.jsonl"
-        runner = SweepRunner(jobs=1, use_cache=False, journal=target)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, journal=target))
         [record] = runner.run([spec_for("gzip")])
         assert record.ok
         assert runner.metrics.journal_errors == 1

@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     ResultCache,
     RunRecord,
     RunSpec,
+    SweepConfig,
     SweepRunner,
     default_jobs,
     execute_spec,
@@ -109,12 +110,12 @@ class TestSerialRunner:
             spec_for("swim", ControllerSpec.static(16)),
             spec_for("gzip", ControllerSpec.static(4)),
         ]
-        records = SweepRunner(jobs=1, use_cache=False).run(specs)
+        records = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(specs)
         assert [r.spec.profile for r in records] == ["swim", "gzip"]
         assert all(r.ok and not r.from_cache for r in records)
 
     def test_matches_direct_run_trace(self):
-        """SweepRunner(jobs=1) == the plain serial path, bit for bit."""
+        """SweepRunner(SweepConfig(jobs=1)) == the plain serial path, bit for bit."""
         from repro.workloads.profiles import get_profile
 
         cache = TraceCache(LEN, seed=7)
@@ -125,13 +126,13 @@ class TestSerialRunner:
             StaticController(4),
             label="test",
         )
-        [record] = SweepRunner(jobs=1, use_cache=False).run([spec_for("gzip")])
+        [record] = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run([spec_for("gzip")])
         assert record.result.ipc == direct.ipc
         assert record.result.committed == direct.committed
         assert record.result.stats.snapshot() == direct.stats.snapshot()
 
     def test_metrics_populated(self):
-        runner = SweepRunner(jobs=1, use_cache=False)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False))
         runner.run([spec_for(), spec_for("swim")])
         m = runner.metrics
         assert m.submitted == m.completed == 2
@@ -143,7 +144,7 @@ class TestSerialRunner:
 
     def test_progress_hook(self):
         events = []
-        runner = SweepRunner(jobs=1, use_cache=False, progress=events.append)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False), progress=events.append)
         runner.run([spec_for()])
         assert len(events) == 1
         assert events[0]["status"] == "ok"
@@ -153,26 +154,26 @@ class TestSerialRunner:
 class TestFailureHandling:
     def test_structured_failure_instead_of_crash(self):
         bad = spec_for(profile="not-a-benchmark")
-        [record] = SweepRunner(jobs=1, use_cache=False, retries=0).run([bad])
+        [record] = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0)).run([bad])
         assert record.status == "failed"
         assert "not-a-benchmark" in record.error
         assert record.result is None
 
     def test_retry_count(self):
-        runner = SweepRunner(jobs=1, use_cache=False, retries=2)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=2))
         [record] = runner.run([spec_for(profile="not-a-benchmark")])
         assert record.attempts == 3
         assert runner.metrics.retries == 2
         assert runner.metrics.failed == 1
 
     def test_failures_do_not_stop_the_sweep(self):
-        records = SweepRunner(jobs=1, use_cache=False, retries=0).run(
+        records = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0)).run(
             [spec_for(), spec_for(profile="not-a-benchmark"), spec_for("swim")]
         )
         assert [r.status for r in records] == ["ok", "failed", "ok"]
 
     def test_require_ok_raises_with_details(self):
-        records = SweepRunner(jobs=1, use_cache=False, retries=0).run(
+        records = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0)).run(
             [spec_for(profile="not-a-benchmark")]
         )
         with pytest.raises(RuntimeError, match="not-a-benchmark"):
@@ -181,7 +182,7 @@ class TestFailureHandling:
     def test_timeout_is_a_structured_record(self):
         # a 200k-instruction simulation cannot finish in 50ms
         slow = spec_for(length=200_000)
-        runner = SweepRunner(jobs=1, use_cache=False, retries=0, timeout=0.05)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False, retries=0, timeout=0.05))
         [record] = runner.run([slow])
         assert record.status == "timeout"
         assert "timeout" in record.error
@@ -215,7 +216,7 @@ class TestTimeoutWithoutSigalrm:
 
 class TestResultCache:
     def test_hit_returns_identical_stats(self, tmp_path):
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         [first] = runner.run([spec_for()])
         [second] = runner.run([spec_for()])
         assert not first.from_cache and second.from_cache
@@ -224,14 +225,14 @@ class TestResultCache:
         assert runner.metrics.cache_hits == 1
 
     def test_hit_rewrites_label_for_the_requesting_exhibit(self, tmp_path):
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         runner.run([spec_for()])
         base = spec_for()
         [hit] = runner.run([dataclasses.replace(base, label="figureX")])
         assert hit.from_cache and hit.result.label == "figureX"
 
     def test_corrupted_entry_is_evicted_and_recomputed(self, tmp_path):
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         [first] = runner.run([spec_for()])
         path = tmp_path / f"{spec_for().cache_key()}.pkl"
         assert path.exists()
@@ -246,7 +247,7 @@ class TestResultCache:
     def test_bit_flip_fails_checksum_before_unpickling(self, tmp_path):
         """A single flipped byte in the stored record defeats the SHA-256
         and the entry is evicted — the unpickler never sees rotten bytes."""
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         runner.run([spec_for()])
         path = tmp_path / f"{spec_for().cache_key()}.pkl"
         payload = pickle.loads(path.read_bytes())
@@ -264,7 +265,7 @@ class TestResultCache:
         """get() must hand out a copy: mutating one exhibit's hit cannot
         leak into another exhibit sharing the same cache entry."""
         cache = ResultCache(tmp_path)
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path))
         runner.run([spec_for()])
         first = cache.get(spec_for())
         first.result.ipc = -123.0  # one consumer misbehaves
@@ -282,19 +283,19 @@ class TestResultCache:
         assert not path.exists()
 
     def test_failed_runs_are_not_cached(self, tmp_path):
-        runner = SweepRunner(jobs=1, cache_dir=tmp_path, retries=0)
+        runner = SweepRunner(SweepConfig(jobs=1, cache_dir=tmp_path, retries=0))
         runner.run([spec_for(profile="not-a-benchmark")])
         assert list(tmp_path.iterdir()) == []
 
     def test_no_cache_runner_never_touches_disk(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        runner = SweepRunner(jobs=1, use_cache=False)
+        runner = SweepRunner(SweepConfig(jobs=1, use_cache=False))
         runner.run([spec_for()])
         assert list(tmp_path.iterdir()) == []
 
     def test_cache_dir_env_respected(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sub"))
-        runner = SweepRunner(jobs=1)
+        runner = SweepRunner(SweepConfig(jobs=1))
         runner.run([spec_for()])
         assert list((tmp_path / "sub").glob("*.pkl"))
 
@@ -321,10 +322,10 @@ class TestDeterminism:
 
     @pytest.fixture(scope="class")
     def serial_records(self):
-        return SweepRunner(jobs=1, use_cache=False).run(self.specs())
+        return SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(self.specs())
 
     def test_parallel_matches_serial(self, serial_records):
-        parallel = SweepRunner(jobs=4, use_cache=False).run(self.specs())
+        parallel = SweepRunner(SweepConfig(jobs=4, use_cache=False)).run(self.specs())
         for s, p in zip(serial_records, parallel):
             assert p.spec == s.spec
             assert p.result.committed == s.result.committed
@@ -335,7 +336,7 @@ class TestDeterminism:
             assert p.events == s.events
 
     def test_serial_repeat_is_identical(self, serial_records):
-        again = SweepRunner(jobs=1, use_cache=False).run(self.specs())
+        again = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(self.specs())
         for a, b in zip(serial_records, again):
             assert a.result.stats.snapshot() == b.result.stats.snapshot()
             assert a.events == b.events
@@ -343,7 +344,7 @@ class TestDeterminism:
 
 class TestMergeableStats:
     def test_sweep_aggregate_equals_counter_sums(self):
-        records = SweepRunner(jobs=1, use_cache=False).run(
+        records = SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(
             [spec_for("gzip"), spec_for("swim")]
         )
         total = SimStats.merged(r.result.stats for r in records)
@@ -362,3 +363,44 @@ class TestDefaultJobs:
     def test_floor_of_one(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() >= 1
+
+
+class TestSweepConfig:
+    def test_legacy_kwargs_warn_and_match(self):
+        """The kwarg-pile spelling still works for one release behind a
+        DeprecationWarning and produces the same records as SweepConfig."""
+        with pytest.warns(DeprecationWarning, match="SweepConfig"):
+            legacy = SweepRunner(jobs=1, use_cache=False)
+        modern = SweepRunner(SweepConfig(jobs=1, use_cache=False))
+        specs = [spec_for("gzip")]
+        [a] = legacy.run(specs)
+        [b] = modern.run(specs)
+        assert a.result.stats.snapshot() == b.result.stats.snapshot()
+
+    def test_legacy_positional_jobs(self):
+        with pytest.warns(DeprecationWarning, match="SweepConfig"):
+            runner = SweepRunner(2)
+        assert runner.config.jobs == 2
+
+    def test_unknown_legacy_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected arguments"):
+            SweepRunner(SweepConfig(jobs=1), bogus=True)
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="jobs"):
+            SweepConfig(jobs=-1)
+        with pytest.raises(ConfigError, match="backend"):
+            SweepConfig(backend="steam-powered")
+        with pytest.raises(ConfigError, match="retries"):
+            SweepConfig(retries=-1)
+
+    def test_resolved_backend_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        assert SweepConfig(jobs=1).resolved_backend() == "serial"
+        assert SweepConfig(jobs=4).resolved_backend() == "process-pool"
+        assert SweepConfig(lanes="local,2").resolved_backend() == "distributed"
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "serial")
+        assert SweepConfig(jobs=4).resolved_backend() == "serial"

@@ -204,6 +204,7 @@ class TestSweepBitIdentity:
 
     def test_parallel_sweep_matches_serial(self):
         from repro.experiments.sweep import (
+            SweepConfig,
             SweepRunner,
             multiprog_run_spec,
             require_ok,
@@ -214,8 +215,8 @@ class TestSweepBitIdentity:
             for arbiter in arbiter_names()
             for fabric in FABRICS
         ]
-        serial = require_ok(SweepRunner(jobs=1, use_cache=False).run(specs))
-        parallel = require_ok(SweepRunner(jobs=4, use_cache=False).run(specs))
+        serial = require_ok(SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(specs))
+        parallel = require_ok(SweepRunner(SweepConfig(jobs=4, use_cache=False)).run(specs))
         for one, four in zip(serial, parallel):
             assert one.spec.cache_key() == four.spec.cache_key()
             assert one.result.ipc == four.result.ipc

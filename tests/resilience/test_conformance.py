@@ -49,6 +49,7 @@ class TestFaultedSweepBitIdentity:
         from repro.experiments.sweep import (
             ControllerSpec,
             RunSpec,
+            SweepConfig,
             SweepRunner,
             require_ok,
         )
@@ -68,8 +69,8 @@ class TestFaultedSweepBitIdentity:
             for controller in (ControllerSpec.explore(),
                                ControllerSpec.static(16))
         ]
-        serial = require_ok(SweepRunner(jobs=1, use_cache=False).run(specs))
-        parallel = require_ok(SweepRunner(jobs=4, use_cache=False).run(specs))
+        serial = require_ok(SweepRunner(SweepConfig(jobs=1, use_cache=False)).run(specs))
+        parallel = require_ok(SweepRunner(SweepConfig(jobs=4, use_cache=False)).run(specs))
         for one, four in zip(serial, parallel):
             assert one.spec.cache_key() == four.spec.cache_key()
             assert dataclasses.asdict(one.result.stats) == dataclasses.asdict(

@@ -11,7 +11,6 @@ from repro.experiments.runner import run_trace
 from repro.experiments.sweep import ControllerSpec
 from repro.pipeline.processor import ClusteredProcessor
 from repro.pipeline.processor import simulate as engine_simulate
-from repro.stats import SimStats
 
 
 class TestSimulateFacade:
@@ -81,26 +80,22 @@ class TestSweepFacade:
             sweep(["gzip"])
 
 
-class TestDeprecationShims:
-    """The three pre-facade spellings still work, but warn with the new one."""
+class TestRetiredSpellings:
+    """The three pre-facade positional spellings completed their
+    deprecation cycle and are gone: the signatures are keyword-only now
+    (analysis rule L202 keeps them that way)."""
 
-    def test_facade_positional_config_warns(self, parallel_trace, config16):
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            stats = simulate(parallel_trace, config16)
-        # the legacy spelling keeps its legacy return type
-        assert isinstance(stats, SimStats)
-        assert stats.committed == len(parallel_trace)
+    def test_facade_positional_config_rejected(self, parallel_trace, config16):
+        with pytest.raises(TypeError):
+            simulate(parallel_trace, config16)
 
-    def test_engine_positional_controller_warns(self, parallel_trace, config16):
-        with pytest.warns(DeprecationWarning, match="controller="):
-            stats = engine_simulate(parallel_trace, config16, StaticController(4))
-        assert stats.avg_active_clusters <= 4.01
+    def test_engine_positional_controller_rejected(self, parallel_trace, config16):
+        with pytest.raises(TypeError):
+            engine_simulate(parallel_trace, config16, StaticController(4))
 
-    def test_run_trace_positional_warmup_warns(self, parallel_trace, config16):
-        with pytest.warns(DeprecationWarning, match="warmup="):
-            legacy = run_trace(parallel_trace, config16, None, 1_000)
-        keyword = run_trace(parallel_trace, config16, warmup=1_000)
-        assert legacy.cycles == keyword.cycles
+    def test_run_trace_positional_warmup_rejected(self, parallel_trace, config16):
+        with pytest.raises(TypeError):
+            run_trace(parallel_trace, config16, None, 1_000)
 
     def test_keyword_spellings_do_not_warn(self, parallel_trace, config16):
         import warnings

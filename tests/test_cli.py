@@ -159,7 +159,8 @@ class TestHelpText:
         out = capsys.readouterr().out
         assert "python -m repro.analysis" in out
         for flag in ("--jobs", "--no-cache", "--timeout", "--metrics-json",
-                     "--journal", "--resume", "--trace"):
+                     "--journal", "--resume", "--trace", "--backend",
+                     "--workers"):
             assert flag in out, f"top-level help must mention {flag}"
         for doc in ("docs/SWEEPS.md", "docs/OBSERVABILITY.md",
                     "docs/ANALYSIS.md", "docs/ARCHITECTURE.md"):

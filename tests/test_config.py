@@ -157,3 +157,52 @@ class TestDerived:
         cfg = default_config()
         with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.num_clusters = 4
+
+
+class TestEnvSwitches:
+    """The centralized environment-variable readers and their registry."""
+
+    def test_registry_names_real_readers(self):
+        import repro.config as config
+
+        for name, (reader, purpose) in config.ENV_SWITCHES.items():
+            assert name.startswith("REPRO_")
+            assert callable(getattr(config, reader)), reader
+            assert purpose
+
+    def test_every_environ_read_goes_through_config(self):
+        """D105 in spirit: no repro module reads os.environ directly
+        (spawn_env and the config readers are the sanctioned doorway)."""
+        import pathlib
+
+        import repro
+
+        src = pathlib.Path(repro.__file__).parent
+        offenders = []
+        for path in src.rglob("*.py"):
+            if path.name == "config.py" or "analysis" in path.parts:
+                continue
+            text = path.read_text()
+            if "os.environ" in text and "faults" not in path.name:
+                offenders.append(str(path.relative_to(src)))
+        assert offenders == [], offenders
+
+    def test_env_int_and_float(self, monkeypatch):
+        from repro.config import env_float, env_int
+
+        monkeypatch.setenv("REPRO_TEST_X", "3")
+        assert env_int("REPRO_TEST_X") == 3
+        monkeypatch.setenv("REPRO_TEST_X", " 2.5 ")
+        assert env_float("REPRO_TEST_X") == 2.5
+        monkeypatch.setenv("REPRO_TEST_X", "bogus")
+        assert env_int("REPRO_TEST_X", 7) == 7
+        assert env_float("REPRO_TEST_X") is None
+        monkeypatch.delenv("REPRO_TEST_X")
+        assert env_int("REPRO_TEST_X") is None
+
+    def test_spawn_env_overrides(self):
+        from repro.config import spawn_env
+
+        env = spawn_env(REPRO_TEST_Y=4)
+        assert env["REPRO_TEST_Y"] == "4"
+        assert "PATH" in env
