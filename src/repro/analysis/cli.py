@@ -20,8 +20,10 @@ from .baseline import (
     stale_entries,
     write_baseline,
 )
+from .gitdiff import GitError, changed_python_files, resolve_default_base
 from .registry import all_rules
 from .runner import analyze_paths
+from .sarif import to_sarif
 
 _DEFAULT_PATHS = ("src", "benchmarks", "examples")
 
@@ -40,8 +42,19 @@ def _build_parser() -> argparse.ArgumentParser:
              f"{' '.join(_DEFAULT_PATHS)}, those that exist)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text; sarif for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only .py files changed vs --base (committed, staged, "
+             "and untracked), intersected with the analysed paths; "
+             "project-scope rules only fire if their anchor module changed",
+    )
+    parser.add_argument(
+        "--base", default=None, metavar="REF",
+        help="git ref --changed diffs against (default: origin/main when "
+             "it resolves, else main)",
     )
     parser.add_argument(
         "--select", action="append", default=[], metavar="RULES",
@@ -94,6 +107,27 @@ def _resolve_paths(args_paths: List[str]) -> List[pathlib.Path]:
     return [pathlib.Path(p) for p in _DEFAULT_PATHS if pathlib.Path(p).exists()]
 
 
+def _changed_subset(
+    paths: List[pathlib.Path], base: Optional[str]
+) -> List[pathlib.Path]:
+    """The changed .py files that live under the requested ``paths``.
+
+    An empty result is not an error: the run proceeds with zero files and
+    exits 0, which is exactly the fast no-op a docs-only PR wants.
+    """
+    if base is None:
+        base = resolve_default_base()
+    roots = [p.resolve() for p in paths]
+    subset: List[pathlib.Path] = []
+    for changed in changed_python_files(base=base):
+        resolved = changed.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                subset.append(changed)
+                break
+    return subset
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -110,11 +144,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(map(str, missing))}")
 
+    if args.base is not None and not args.changed:
+        parser.error("--base only makes sense with --changed")
+    focus = None
+    if args.changed:
+        try:
+            focus = _changed_subset(paths, args.base)
+        except GitError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+
     result = analyze_paths(
         paths,
         root=args.root,
         select=_split_csv(args.select),
         ignore=_split_csv(args.ignore),
+        focus=focus,
     )
 
     baseline_path = args.baseline or pathlib.Path(DEFAULT_BASELINE_NAME)
@@ -137,7 +182,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     new, baselined = split_by_baseline(result.findings, baseline)
     stale = stale_entries(result.findings, baseline)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(new), indent=2))
+    elif args.format == "json":
         payload = {
             "version": 1,
             "files_scanned": result.files_scanned,

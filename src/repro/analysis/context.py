@@ -75,6 +75,13 @@ class FileContext:
     #: local binding -> absolute dotted origin (``simulate`` ->
     #: ``repro.api.simulate``; ``np`` -> ``numpy``)
     import_map: Dict[str, str] = field(default_factory=dict)
+    #: memoized :class:`repro.analysis.dataflow.ModuleDataflow` (built
+    #: lazily by :func:`repro.analysis.dataflow.module_dataflow` so the
+    #: C/P/K rule packs share one def-use build per file; typed loosely
+    #: to keep this module import-light)
+    dataflow_cache: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def module_head(self) -> Optional[str]:

@@ -1,0 +1,92 @@
+"""Changed-file discovery for ``--changed`` (the fast PR loop).
+
+The changed set is the union of three git views, so the mode behaves the
+same whether the work is committed, staged, or still untracked:
+
+* committed changes vs ``merge-base(base, HEAD)``
+* uncommitted (staged + worktree) changes vs HEAD
+* untracked files not ignored by ``.gitignore``
+
+Only ``.py`` files are kept.  Callers intersect the result with the
+requested analysis paths; project-scope rules (K6xx, P5xx, L2xx) only run
+when their anchor module is in the changed set, so ``--changed`` trades
+cross-file completeness for speed — the full run still gates merges.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+from typing import List, Optional, Set
+
+
+class GitError(RuntimeError):
+    """git was unavailable or the base ref did not resolve."""
+
+
+def _git(root: pathlib.Path, *argv: str) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitError(f"git {' '.join(argv)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise GitError(
+            f"git {' '.join(argv)} failed: {proc.stderr.strip() or proc.stdout.strip()}"
+        )
+    return proc.stdout
+
+
+def resolve_default_base(root: Optional[pathlib.Path] = None) -> str:
+    """``origin/main`` when the remote-tracking ref exists, else ``main``.
+
+    Local clones without a remote (and CI checkouts that only fetched the
+    PR head) still get a usable default instead of an instant GitError.
+    """
+    if root is None:
+        root = pathlib.Path.cwd()
+    for candidate in ("origin/main", "main"):
+        try:
+            _git(root, "rev-parse", "--verify", "--quiet", candidate)
+        except GitError:
+            continue
+        return candidate
+    raise GitError("neither origin/main nor main resolves; pass --base REF")
+
+
+def changed_python_files(
+    root: Optional[pathlib.Path] = None, base: str = "origin/main"
+) -> List[pathlib.Path]:
+    """Paths (relative to ``root``) of every changed/added ``.py`` file.
+
+    Names come back from git relative to the repository toplevel, so the
+    returned paths are absolute — callers relativize for display.  Deleted
+    files are excluded (there is nothing left to lint).  Raises
+    :class:`GitError` when git or the base ref is unusable — the CLI maps
+    that to exit code 2 rather than silently linting nothing.
+    """
+    if root is None:
+        root = pathlib.Path.cwd()
+    toplevel = pathlib.Path(_git(root, "rev-parse", "--show-toplevel").strip())
+    merge_base = _git(root, "merge-base", base, "HEAD").strip()
+    names: Set[str] = set()
+    names.update(
+        _git(
+            root, "diff", "--name-only", "--diff-filter=d", merge_base, "HEAD"
+        ).splitlines()
+    )
+    names.update(_git(root, "diff", "--name-only", "--diff-filter=d", "HEAD").splitlines())
+    names.update(_git(root, "ls-files", "--others", "--exclude-standard").splitlines())
+    out: List[pathlib.Path] = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = toplevel / name
+        if path.is_file():
+            out.append(path)
+    return out

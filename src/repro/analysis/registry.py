@@ -1,7 +1,9 @@
 """Pluggable rule registry.
 
-A rule is a class with a ``RULE_ID`` (``D``/``L``/``S`` prefix + number), a
-one-line ``RULE_DOC``, and a ``check`` method.  Two granularities exist:
+A rule is a class with a ``RULE_ID`` (family prefix — ``C`` concurrency,
+``D`` determinism, ``K`` cache-key, ``L`` layering, ``P`` pickle/wire,
+``S`` stats — plus a number), a one-line ``RULE_DOC``, and a ``check``
+method.  Two granularities exist:
 
 * **file rules** (``scope = "file"``) — ``check(file_ctx)`` is called once
   per parsed source file and yields :class:`~.findings.Finding`s.
@@ -22,7 +24,7 @@ from typing import Dict, Iterable, Iterator, List, Type
 
 from .findings import Finding
 
-_RULE_ID_RE = re.compile(r"^[DLS]\d{3}$")
+_RULE_ID_RE = re.compile(r"^[CDKLPS]\d{3}$")
 
 
 class Rule:
@@ -55,7 +57,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding ``cls`` to the global rule registry."""
     if not _RULE_ID_RE.match(cls.RULE_ID):
         raise ValueError(
-            f"rule id {cls.RULE_ID!r} must match D/L/S + three digits"
+            f"rule id {cls.RULE_ID!r} must match C/D/K/L/P/S + three digits"
         )
     if cls.RULE_ID in _REGISTRY and _REGISTRY[cls.RULE_ID] is not cls:
         raise ValueError(f"duplicate rule id {cls.RULE_ID}")
@@ -106,4 +108,11 @@ def _load_builtin_rules() -> None:
     if _loaded:
         return
     _loaded = True
-    from . import rules_determinism, rules_layering, rules_stats  # noqa: F401
+    from . import (  # noqa: F401
+        rules_cachekey,
+        rules_concurrency,
+        rules_determinism,
+        rules_layering,
+        rules_stats,
+        rules_wire,
+    )

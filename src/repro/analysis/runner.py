@@ -63,6 +63,7 @@ def analyze_paths(
     root: Optional[pathlib.Path] = None,
     select: Iterable[str] = (),
     ignore: Iterable[str] = (),
+    focus: Optional[Sequence[pathlib.Path]] = None,
 ) -> AnalysisResult:
     """Run the registered rules over every Python file under ``paths``.
 
@@ -70,17 +71,29 @@ def analyze_paths(
     current directory).  ``select``/``ignore`` filter rules by id or
     family prefix.  Suppressed findings are returned separately so the CLI
     can report them; baseline subtraction happens in the CLI layer.
+
+    ``focus`` (the ``--changed`` fast path) restricts *reporting* to the
+    given files while still parsing everything under ``paths`` — project
+    context must stay complete or cross-file resolution (import chasing,
+    annotation lookup) would produce false positives on partial views.
+    File-scope rules only execute on focused files; project-scope rules
+    run in full and their findings are filtered to the focus set.
     """
     if root is None:
         root = pathlib.Path.cwd()
+    focus_set = None if focus is None else {p.resolve() for p in focus}
     result = AnalysisResult()
     contexts: List[FileContext] = []
+    focused: List[FileContext] = []
     for path in collect_files(list(paths)):
         display = _display_path(path, root)
+        in_focus = focus_set is None or path.resolve() in focus_set
         try:
-            contexts.append(build_file_context(path, display))
+            ctx = build_file_context(path, display)
         except (SyntaxError, UnicodeDecodeError) as exc:
             result.parse_errors += 1
+            if not in_focus:
+                continue
             lineno = getattr(exc, "lineno", None) or 1
             result.findings.append(
                 Finding(
@@ -91,10 +104,17 @@ def analyze_paths(
                     message=f"file does not parse: {exc}",
                 )
             )
-    result.files_scanned = len(contexts)
+            continue
+        contexts.append(ctx)
+        if in_focus:
+            focused.append(ctx)
+    result.files_scanned = len(focused)
 
     project = ProjectContext(files=contexts)
     project.vocabulary = build_vocabulary(project)
+
+    if focus_set is not None and not focused:
+        return result  # nothing to report on; skip the rule passes
 
     rules: List[Rule] = []
     for rule_cls in select_rules(select, ignore):
@@ -102,12 +122,13 @@ def analyze_paths(
         rule.project = project  # file rules that need cross-file data
         rules.append(rule)
 
+    focused_paths = {ctx.display_path for ctx in focused}
     raw: List[Finding] = []
     for rule in rules:
         if rule.scope == "project":
-            raw.extend(rule.check(project))
+            raw.extend(f for f in rule.check(project) if f.path in focused_paths)
         else:
-            for ctx in contexts:
+            for ctx in focused:
                 raw.extend(rule.check(ctx))
 
     by_path = {ctx.display_path: ctx for ctx in contexts}

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 serialization of analysis findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests, so ``--format sarif`` lets the CI analysis job
+surface findings as inline PR annotations instead of a wall of log text.
+Only the fields code scanning actually reads are emitted — one ``run``
+with a rule catalogue and one ``result`` per finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .findings import Finding
+from .registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule_id: str, doc: str) -> Dict[str, Any]:
+    # SARIF wants a short one-liner and a full description; our RULE_DOC
+    # first line serves as both short text and the help head.
+    head = doc.strip().splitlines()[0] if doc.strip() else rule_id
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": head},
+        "fullDescription": {"text": doc.strip() or head},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # findings use 0-based columns (compiler
+                        # convention); SARIF columns are 1-based
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.detail:
+        result["properties"] = dict(finding.detail)
+    return result
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Render ``findings`` as a complete SARIF 2.1.0 log object."""
+    rules: List[Dict[str, Any]] = [
+        _rule_descriptor(rule.RULE_ID, rule.RULE_DOC) for rule in all_rules()
+    ]
+    known = {r["id"] for r in rules}
+    # P000 (parse error) is synthesized by the runner, not registered
+    for finding in findings:
+        if finding.rule not in known:
+            rules.append(_rule_descriptor(finding.rule, "file does not parse"))
+            known.add(finding.rule)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f) for f in findings],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

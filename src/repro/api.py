@@ -63,6 +63,7 @@ from .config import (
 )
 from .errors import ConfigError
 from .multiprog import MultiProgResult, MultiProgSpec, run_multiprog
+from .resilience import FaultSchedule
 from .stats import SimStats
 from .workloads.instruction import Trace
 from .workloads.profiles import get_profile
@@ -114,10 +115,9 @@ class SimSpec:
     processor: Optional[ProcessorConfig] = None
     #: steering override: ``("mod-n", 3)`` or ``("first-fit",)``
     steering: Optional[Tuple] = None
-    #: architectural fault schedule (:class:`repro.resilience.FaultSchedule`);
-    #: the run degrades gracefully around the declared faults — see
-    #: ``docs/RESILIENCE.md``
-    faults: Optional[object] = None
+    #: architectural fault schedule; the run degrades gracefully around
+    #: the declared faults — see ``docs/RESILIENCE.md``
+    faults: Optional[FaultSchedule] = None
     label: str = ""
 
     def resolved_label(self) -> str:

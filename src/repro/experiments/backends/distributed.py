@@ -291,12 +291,13 @@ class DistributedBackend(ExecutionBackend):
         for lane in self.lanes:
             if lane.is_local:
                 for _ in range(lane.slots):
-                    self._spawn_local(lane)
+                    await self._spawn_local(lane)
             else:
                 for slot in range(lane.slots):
                     asyncio.ensure_future(self._dial(lane, slot))
 
-    def _spawn_local(self, lane: WorkerLane) -> None:
+    def _popen_local(self, lane: WorkerLane) -> subprocess.Popen:
+        """Fork+exec one worker process (runs on an executor thread)."""
         host, port = self.address
         # workers import this very package; make sure the source tree the
         # coordinator runs from wins over any installed copy
@@ -305,7 +306,7 @@ class DistributedBackend(ExecutionBackend):
         env["PYTHONPATH"] = src_root + (
             ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
-        proc = subprocess.Popen(
+        return subprocess.Popen(
             [
                 sys.executable, "-m", "repro.experiments.backends.worker",
                 "--connect", f"{host}:{port}", "--lane", lane.name,
@@ -313,6 +314,14 @@ class DistributedBackend(ExecutionBackend):
             env=env,
             stdout=subprocess.DEVNULL,
         )
+
+    async def _spawn_local(self, lane: WorkerLane) -> None:
+        # fork+exec blocks for milliseconds-to-worse under memory
+        # pressure; on the loop thread that would stall every worker
+        # connection at once (a respawn happens exactly when the loop is
+        # busiest), so the Popen runs on the default executor
+        loop = asyncio.get_running_loop()
+        proc = await loop.run_in_executor(None, self._popen_local, lane)
         self._procs.append(proc)
         self._log.emit("worker_spawn", time.perf_counter(),
                        lane=lane.name, pid=proc.pid)
@@ -388,7 +397,7 @@ class DistributedBackend(ExecutionBackend):
             self._log.emit("worker_disconnect", time.perf_counter(),
                            worker=worker)
             if not self._closing:
-                self._maybe_respawn(worker)
+                await self._maybe_respawn(worker)
 
     async def _next_job(self, reader, worker):
         """Wait for a job while also watching the idle connection for EOF.
@@ -449,7 +458,7 @@ class DistributedBackend(ExecutionBackend):
             self._log.emit("worker_wedged", time.perf_counter(), worker=worker)
             return None
 
-    def _maybe_respawn(self, worker: str) -> None:
+    async def _maybe_respawn(self, worker: str) -> None:
         """Replace a dead locally-spawned worker, within budget."""
         lane_name = worker.split("/", 1)[0]
         lane = next(
@@ -463,7 +472,7 @@ class DistributedBackend(ExecutionBackend):
                            lane=lane_name)
             return
         self._respawns += 1
-        self._spawn_local(lane)
+        await self._spawn_local(lane)
 
     async def _purge_queue(self) -> List[Tuple[int, object, float]]:
         dropped = []

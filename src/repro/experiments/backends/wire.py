@@ -27,7 +27,26 @@ from __future__ import annotations
 
 import pickle
 import struct
-from typing import Optional
+from typing import Dict, Optional, Tuple
+
+#: the frame vocabulary, machine-readable: tag -> direction.  Analysis
+#: rule P503 proves every tag here appears in both the coordinator
+#: (``distributed.py``) and the worker (``worker.py``), so a new frame
+#: type cannot ship with only one dispatch arm.
+FRAME_TYPES: Dict[str, str] = {
+    "hello": "worker->coordinator",
+    "job": "coordinator->worker",
+    "result": "worker->coordinator",
+    "shutdown": "coordinator->worker",
+}
+
+#: the declarative payload types that cross this wire (and the
+#: process-pool boundary).  Analysis rule P502 proves each is a frozen
+#: dataclass whose fields are transitively picklable.  RunRecord (the
+#: reply direction) is deliberately absent: it is a mutable progress
+#: record, not a spec, and its pickling is exercised end-to-end by the
+#: backend conformance suite instead.
+WIRE_SPEC_TYPES: Tuple[str, ...] = ("repro.experiments.sweep.RunSpec",)
 
 #: frame header: 4-byte magic + 4-byte big-endian payload length
 MAGIC = b"RSWP"

@@ -86,6 +86,7 @@ from ..core import (
 )
 from ..multiprog import MultiProgResult, MultiProgSpec, run_multiprog
 from ..multiprog.scheduler import fabric_config
+from ..resilience import FaultSchedule
 from ..stats import IntervalRecord
 from ..workloads.generator import generate_trace
 from ..workloads.profiles import get_profile
@@ -127,7 +128,12 @@ class ControllerSpec:
 
     kind: str = "none"
     clusters: Optional[int] = None
-    algo: Optional[object] = None
+    #: typed as the closed union of algorithm-constant dataclasses (all
+    #: frozen, all repr-stable) so the wire/cache-key rules can prove the
+    #: spec picklable and its repr deterministic (P502/K601)
+    algo: Optional[
+        Union[ExploreConfig, NoExploreConfig, FineGrainConfig]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _CONTROLLER_BUILDERS:
@@ -225,10 +231,10 @@ class RunSpec:
     #: of a single-thread simulation; build such specs with
     #: :func:`multiprog_run_spec` so the redundant fields stay consistent
     multiprog: Optional[MultiProgSpec] = None
-    #: architectural fault schedule (:class:`repro.resilience.FaultSchedule`)
-    #: applied to the run; part of the cache key — a faulted run is a
-    #: different machine, never interchangeable with the healthy one
-    faults: Optional[object] = None
+    #: architectural fault schedule applied to the run; part of the cache
+    #: key — a faulted run is a different machine, never interchangeable
+    #: with the healthy one
+    faults: Optional[FaultSchedule] = None
 
     def cache_key(self) -> str:
         """Stable content hash of the run's inputs plus the code version."""
@@ -252,6 +258,25 @@ class RunSpec:
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 
+
+#: fields that deliberately do NOT flow into :meth:`RunSpec.cache_key`.
+#: Audited by analysis rules K601/K602: adding a field to RunSpec or
+#: SweepConfig forces a choice — thread it into the key, or declare it
+#: non-semantic here.  A stale or contradictory entry is itself a
+#: finding, so this list can only ever shrink behind the code.
+CACHE_KEY_EXEMPT: Dict[str, Tuple[str, ...]] = {
+    # reporting name only: two exhibits running the same configuration
+    # under different labels share one cache entry (see RunSpec docstring)
+    "RunSpec": ("label",),
+    # execution policy, not simulation semantics: every backend produces
+    # bit-identical records (the conformance suite proves it), so none of
+    # the runner knobs may ever influence a cached result
+    "SweepConfig": (
+        "backend", "jobs", "lanes", "cache_dir", "use_cache", "timeout",
+        "retries", "retry_backoff", "journal", "resume",
+        "poison_threshold", "trace_dir",
+    ),
+}
 
 _CODE_DIGEST: Optional[str] = None
 

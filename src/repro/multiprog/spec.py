@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -53,7 +53,11 @@ class MultiProgSpec:
     #: protection: losing dispatch rights to cluster 0 is exactly an
     #: arbiter reclaim, not machine death.
     faults: Optional[FaultSchedule] = None
-    label: str = ""
+    #: reporting name only — excluded from the repr (and therefore from
+    #: RunSpec.cache_key, which interpolates ``multiprog={...!r}``), for
+    #: the same reason RunSpec.label is exempt: relabeling an exhibit
+    #: must not fork its cache entries (audited by analysis rule K601)
+    label: str = field(default="", repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))

@@ -1,0 +1,202 @@
+"""K6xx: cache-key completeness and spec-flow proofs."""
+
+
+def rules_of(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+SWEEP_TEMPLATE = """
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+CACHE_KEY_EXEMPT: Dict[str, Tuple[str, ...]] = {exempt}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    benchmark: str
+    seed: int = 7
+    label: str = ""
+{extra_fields}
+    def cache_key(self) -> str:
+        return "|".join([
+            f"benchmark={{self.benchmark}}",
+            f"seed={{self.seed}}",
+{extra_key_lines}        ])
+"""
+
+
+def sweep_module(exempt='{"RunSpec": ("label",)}', extra_fields="",
+                 extra_key_lines=""):
+    return SWEEP_TEMPLATE.format(
+        exempt=exempt,
+        extra_fields=extra_fields,
+        extra_key_lines=extra_key_lines,
+    )
+
+
+class TestK601Completeness:
+    def test_covered_plus_exempt_passes(self, findings_of):
+        findings = findings_of(
+            {"repro/experiments/sweep.py": sweep_module()}, select=("K601",)
+        )
+        assert rules_of(findings, "K601") == []
+
+    def test_uncovered_field_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/sweep.py": sweep_module(
+                    extra_fields="    topology: str = \"ring\"\n"
+                )
+            },
+            select=("K601",),
+        )
+        (finding,) = rules_of(findings, "K601")
+        assert "topology" in finding.message
+
+    def test_stale_exempt_entry_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/sweep.py": sweep_module(
+                    exempt='{"RunSpec": ("label", "gone")}'
+                )
+            },
+            select=("K601",),
+        )
+        (finding,) = rules_of(findings, "K601")
+        assert "gone" in finding.message
+        assert "stale" in finding.message
+
+    def test_contradictory_exempt_entry_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/sweep.py": sweep_module(
+                    exempt='{"RunSpec": ("label", "seed")}'
+                )
+            },
+            select=("K601",),
+        )
+        (finding,) = rules_of(findings, "K601")
+        assert "contradicts" in finding.message
+
+    def test_key_reachable_non_dataclass_flagged(self, findings_of):
+        tree = {
+            "repro/experiments/sweep.py": sweep_module(
+                extra_fields=(
+                    "    faults: Optional[\"Schedule\"] = None\n"
+                ),
+                extra_key_lines=(
+                    "            f\"faults={self.faults!r}\",\n"
+                ),
+            ).replace(
+                "from typing import",
+                "from ..resilience import Schedule\nfrom typing import",
+            ),
+            "repro/resilience/__init__.py": "from .sched import Schedule\n",
+            "repro/resilience/sched.py": """
+            class Schedule:
+                def __init__(self, events):
+                    self.events = events
+            """,
+        }
+        findings = findings_of(tree, select=("K601",))
+        (finding,) = rules_of(findings, "K601")
+        assert "repr" in finding.message
+
+    def test_repr_false_field_is_the_opt_out(self, findings_of):
+        tree = {
+            "repro/experiments/sweep.py": sweep_module(
+                extra_fields="    sub: Optional[\"Sub\"] = None\n",
+                extra_key_lines="            f\"sub={self.sub!r}\",\n",
+            ).replace(
+                "from typing import",
+                "from .sub import Sub\nfrom typing import",
+            ),
+            "repro/experiments/sub.py": """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class Sub:
+                kept: int = 0
+                # opted out of the repr, so its type never reaches the key
+                opaque: object = field(default=None, repr=False)
+            """,
+        }
+        findings = findings_of(tree, select=("K601",))
+        assert rules_of(findings, "K601") == []
+
+
+API_TEMPLATE = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    workload: str
+    seed: int = 7
+
+    def _resolved_seed(self):
+        return self.seed
+
+    def to_run_spec(self):
+        return {body}
+"""
+
+
+class TestK602SpecFlow:
+    def test_direct_and_helper_flow_passes(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/sweep.py": sweep_module(),
+                "repro/api.py": API_TEMPLATE.format(
+                    body="(self.workload, self._resolved_seed())"
+                ),
+            },
+            select=("K602",),
+        )
+        assert rules_of(findings, "K602") == []
+
+    def test_dropped_field_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/sweep.py": sweep_module(),
+                "repro/api.py": API_TEMPLATE.format(body="(self.workload,)"),
+            },
+            select=("K602",),
+        )
+        (finding,) = rules_of(findings, "K602")
+        assert "SimSpec.seed" in finding.message
+
+    def test_sweep_config_must_be_accounted_for(self, findings_of):
+        source = sweep_module(
+            exempt='{"RunSpec": ("label",), "SweepConfig": ("jobs",)}'
+        ) + """
+
+@dataclass(frozen=True)
+class SweepConfig:
+    jobs: int = 1
+    seed: int = 7
+    mystery: float = 0.5
+"""
+        findings = findings_of(
+            {"repro/experiments/sweep.py": source}, select=("K602",)
+        )
+        # jobs is exempt, seed shadows a key-covered RunSpec field;
+        # mystery is neither
+        (finding,) = rules_of(findings, "K602")
+        assert "mystery" in finding.message
+
+    def test_stale_sweep_config_exemption_flagged(self, findings_of):
+        source = sweep_module(
+            exempt='{"RunSpec": ("label",), "SweepConfig": ("ghost",)}'
+        ) + """
+
+@dataclass(frozen=True)
+class SweepConfig:
+    seed: int = 7
+"""
+        findings = findings_of(
+            {"repro/experiments/sweep.py": source}, select=("K602",)
+        )
+        (finding,) = rules_of(findings, "K602")
+        assert "ghost" in finding.message

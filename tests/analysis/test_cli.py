@@ -131,6 +131,89 @@ class TestSuppressionDisplay:
         assert "D101" in out
 
 
+class TestSarifFormat:
+    def test_findings_render_as_sarif(self, dirty_tree, capsys):
+        code, out = run_cli(capsys, dirty_tree, "--root", dirty_tree,
+                            "--no-baseline", "--format", "sarif")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        run_ = payload["runs"][0]
+        assert run_["tool"]["driver"]["name"] == "repro.analysis"
+        rule_ids = {r["id"] for r in run_["tool"]["driver"]["rules"]}
+        assert {"D101", "C401", "P502", "K601"} <= rule_ids
+        (result,) = run_["results"]
+        assert result["ruleId"] == "D101"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+        assert region["startColumn"] == 12  # 0-based col 11, SARIF 1-based
+
+    def test_clean_tree_emits_empty_results(self, clean_tree, capsys):
+        code, out = run_cli(capsys, clean_tree, "--root", clean_tree,
+                            "--no-baseline", "--format", "sarif")
+        assert code == 0
+        assert json.loads(out)["runs"][0]["results"] == []
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+class TestChangedMode:
+    @pytest.fixture
+    def git_tree(self, make_tree, monkeypatch):
+        tree = make_tree({"repro/pipeline/p.py": CLEAN})
+        _git(tree, "init", "-q", "-b", "main")
+        _git(tree, "add", "-A")
+        _git(tree, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tree)
+        return tree
+
+    def test_only_changed_files_are_reported(self, git_tree, capsys):
+        # a pre-existing (committed) violation in an UNCHANGED file must
+        # not fail the fast loop; one in a changed file must
+        (git_tree / "repro" / "pipeline" / "q.py").write_text(DIRTY)
+        code, out = run_cli(capsys, git_tree, "--root", git_tree,
+                            "--no-baseline", "--changed", "--base", "main")
+        assert code == 1
+        assert "repro/pipeline/q.py" in out
+        assert "1 file(s) scanned" in out
+
+    def test_clean_checkout_scans_nothing(self, git_tree, capsys):
+        code, out = run_cli(capsys, git_tree, "--root", git_tree,
+                            "--no-baseline", "--changed", "--base", "main")
+        assert code == 0
+        assert "0 file(s) scanned" in out
+
+    def test_committed_changes_vs_base_are_included(self, git_tree, capsys):
+        _git(git_tree, "checkout", "-q", "-b", "feature")
+        (git_tree / "repro" / "pipeline" / "q.py").write_text(DIRTY)
+        _git(git_tree, "add", "-A")
+        _git(git_tree, "commit", "-q", "-m", "add q")
+        code, out = run_cli(capsys, git_tree, "--root", git_tree,
+                            "--no-baseline", "--changed", "--base", "main")
+        assert code == 1
+        assert "repro/pipeline/q.py" in out
+
+    def test_outside_git_is_a_usage_error(self, make_tree, monkeypatch,
+                                          capsys, tmp_path):
+        tree = make_tree({"repro/pipeline/p.py": CLEAN})
+        monkeypatch.chdir(tree)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+        code = main([str(tree), "--root", str(tree), "--no-baseline",
+                     "--changed", "--base", "main"])
+        assert code == 2
+
+    def test_base_without_changed_is_a_usage_error(self, git_tree):
+        with pytest.raises(SystemExit) as exc:
+            main([str(git_tree), "--base", "main"])
+        assert exc.value.code == 2
+
+
 class TestRealTree:
     def test_shipping_tree_is_clean(self, capsys):
         paths = [REPO_ROOT / p for p in ("src", "benchmarks", "examples")

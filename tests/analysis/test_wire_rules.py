@@ -1,0 +1,259 @@
+"""P5xx: pickle-safety of payloads, wire types, and frame dispatch."""
+
+
+def rules_of(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestP501UnpicklablePayload:
+    def test_lambda_in_pickle_dumps(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/pipeline/p.py": """
+                import pickle
+
+                def ship():
+                    return pickle.dumps({"cb": lambda: 1})
+                """
+            },
+            select=("P501",),
+        )
+        (finding,) = rules_of(findings, "P501")
+        assert "lambda" in finding.message
+
+    def test_nested_function_reference_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/pipeline/p.py": """
+                import pickle
+
+                def ship():
+                    def helper():
+                        return 1
+                    return pickle.dumps(helper)
+                """
+            },
+            select=("P501",),
+        )
+        (finding,) = rules_of(findings, "P501")
+        assert "helper" in finding.message
+
+    def test_module_level_function_pickles_by_reference(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/pipeline/p.py": """
+                import pickle
+
+                def helper():
+                    return 1
+
+                def ship():
+                    return pickle.dumps(helper)
+                """
+            },
+            select=("P501",),
+        )
+        assert rules_of(findings, "P501") == []
+
+    def test_open_handle_bound_local_flagged(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/pipeline/p.py": """
+                import pickle
+
+                def ship(path):
+                    fh = open(path)
+                    return pickle.dumps(fh)
+                """
+            },
+            select=("P501",),
+        )
+        (finding,) = rules_of(findings, "P501")
+        assert "handle" in finding.message
+
+    def test_submit_in_experiments_layer_is_a_boundary(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/experiments/pool.py": """
+                def run(executor):
+                    return executor.submit(lambda: 1)
+                """
+            },
+            select=("P501",),
+        )
+        assert len(rules_of(findings, "P501")) == 1
+
+    def test_submit_outside_experiments_is_not(self, findings_of):
+        findings = findings_of(
+            {
+                "repro/pipeline/p.py": """
+                def run(executor):
+                    return executor.submit(lambda: 1)
+                """
+            },
+            select=("P501",),
+        )
+        assert rules_of(findings, "P501") == []
+
+
+WIRE = """
+from typing import Dict, Tuple
+
+FRAME_TYPES: Dict[str, str] = {
+    "job": "coordinator->worker",
+    "result": "worker->coordinator",
+}
+
+WIRE_SPEC_TYPES: Tuple[str, ...] = ("repro.pipeline.spec.Spec",)
+
+
+def send(sock, frame):
+    pass
+"""
+
+DISTRIBUTED_OK = """
+def dispatch(reply):
+    kind = reply.get("type")
+    if kind == "result":
+        return reply
+    raise ValueError(kind)
+
+
+def submit_job(wire, sock, spec):
+    wire.send(sock, {"type": "job", "spec": spec})
+"""
+
+WORKER_OK = """
+def serve(wire, sock, frame):
+    if frame["type"] == "job":
+        wire.send(sock, {"type": "result"})
+"""
+
+
+class TestP502WireTypes:
+    def tree(self, spec_source):
+        return {
+            "repro/pipeline/wire.py": WIRE,
+            "repro/pipeline/distributed.py": DISTRIBUTED_OK,
+            "repro/pipeline/worker.py": WORKER_OK,
+            "repro/pipeline/spec.py": spec_source,
+        }
+
+    def test_frozen_scalar_dataclass_passes(self, findings_of):
+        findings = findings_of(
+            self.tree(
+                """
+                from dataclasses import dataclass
+                from typing import Optional, Tuple
+
+                @dataclass(frozen=True)
+                class Spec:
+                    name: str
+                    seeds: Tuple[int, ...]
+                    note: Optional[str] = None
+                """
+            ),
+            select=("P502",),
+        )
+        assert rules_of(findings, "P502") == []
+
+    def test_unfrozen_wire_type_flagged(self, findings_of):
+        findings = findings_of(
+            self.tree(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Spec:
+                    name: str
+                """
+            ),
+            select=("P502",),
+        )
+        (finding,) = rules_of(findings, "P502")
+        assert "frozen" in finding.message
+
+    def test_object_typed_field_flagged(self, findings_of):
+        findings = findings_of(
+            self.tree(
+                """
+                from dataclasses import dataclass
+                from typing import Optional
+
+                @dataclass(frozen=True)
+                class Spec:
+                    name: str
+                    extra: Optional[object] = None
+                """
+            ),
+            select=("P502",),
+        )
+        (finding,) = rules_of(findings, "P502")
+        assert "extra" in finding.message
+
+    def test_nested_spec_class_checked_transitively(self, findings_of):
+        tree = self.tree(
+            """
+            from dataclasses import dataclass
+            from typing import Optional
+
+            from .inner import Inner
+
+            @dataclass(frozen=True)
+            class Spec:
+                name: str
+                inner: Optional[Inner] = None
+            """
+        )
+        tree["repro/pipeline/inner.py"] = """
+        class Inner:
+            pass
+        """
+        findings = findings_of(tree, select=("P502",))
+        (finding,) = rules_of(findings, "P502")
+        assert "Inner" in finding.message
+
+
+class TestP503FrameDispatch:
+    def tree(self, wire=WIRE, distributed=DISTRIBUTED_OK, worker=WORKER_OK):
+        return {
+            "repro/pipeline/wire.py": wire,
+            "repro/pipeline/distributed.py": distributed,
+            "repro/pipeline/worker.py": worker,
+            "repro/pipeline/spec.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Spec:
+                name: str
+            """,
+        }
+
+    def test_complete_dispatch_passes(self, findings_of):
+        findings = findings_of(self.tree(), select=("P503",))
+        assert rules_of(findings, "P503") == []
+
+    def test_declared_tag_missing_from_both_sides(self, findings_of):
+        wire = WIRE.replace(
+            '"job": "coordinator->worker",',
+            '"job": "coordinator->worker",\n    "ping": "either",',
+        )
+        findings = findings_of(self.tree(wire=wire), select=("P503",))
+        found = rules_of(findings, "P503")
+        assert len(found) == 2  # absent from coordinator AND worker
+        assert all("ping" in f.message for f in found)
+
+    def test_undeclared_produced_tag_flagged(self, findings_of):
+        worker = WORKER_OK.replace(
+            '{"type": "result"}', '{"type": "surprise"}'
+        )
+        findings = findings_of(self.tree(worker=worker), select=("P503",))
+        assert any(
+            "surprise" in f.message for f in rules_of(findings, "P503")
+        )
+
+    def test_missing_worker_module_is_a_finding(self, findings_of):
+        tree = self.tree()
+        del tree["repro/pipeline/worker.py"]
+        findings = findings_of(tree, select=("P503",))
+        assert rules_of(findings, "P503")
