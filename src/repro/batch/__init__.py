@@ -1,0 +1,25 @@
+"""Batched lockstep execution of independent simulations.
+
+``repro.batch`` advances N independent simulations through the cycle
+loop together inside one process: :class:`FusedCore` is the fused,
+skip-capable inner loop bound to one
+:class:`~repro.pipeline.processor.ClusteredProcessor`, and
+:class:`BatchEngine` round-robins a batch of them, retiring finished
+members and back-filling from a pending queue.
+
+The package sits *below* the experiments layer (it knows nothing about
+sweeps, specs, or caching); ``repro.experiments.backends.batch`` wraps
+it as the ``--backend batch`` execution backend.  See
+``docs/BATCHING.md`` for the execution model and tuning guide.
+"""
+
+from .core import FusedCore
+from .engine import BatchEngine, BatchJob, BatchOutcome, BatchResult
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchOutcome",
+    "BatchResult",
+    "FusedCore",
+]

@@ -1,0 +1,289 @@
+"""Lockstep batch execution of independent simulations.
+
+A :class:`BatchEngine` owns up to ``batch_size`` live
+:class:`~repro.pipeline.processor.ClusteredProcessor` instances — the
+*members* — and advances them cycle-synchronously in rounds: each round
+gives every member one ``quantum`` of executed cycles through its
+:class:`~repro.batch.core.FusedCore`.  A member that reaches its commit
+target retires and its slot is back-filled from the pending queue, so the
+batch stays full until the queue drains.
+
+The member lifecycle replicates :func:`repro.experiments.runner.run_trace`
+exactly:
+
+* **WARMUP** — advance (guardlessly, like the warmup loop) until the
+  clamped warmup commit count is reached, then snapshot the baseline
+  counters;
+* **MEASURE** — advance under ``run()``'s wedge guard until the commit
+  limit or trace end, then hand the tail (fault finalize, invariant
+  check) to ``processor.run()`` itself, whose loop body is already
+  satisfied;
+* **retire** — report steady-state metrics computed with ``run_trace``'s
+  formulas from the snapshot deltas.
+
+Because members never share mutable state (traces are read-only during a
+run — the per-process trace memo depends on that already), lockstep
+interleaving cannot change any member's result: every member is
+bit-identical to the same spec run serially, whatever the batch
+composition or quantum.  ``tests/batch/`` and the backend conformance
+suite enforce this.
+
+Wall-clock timeouts are cooperative: the engine bills each member for the
+time its own rounds actually consume, so a slow member times out after
+the same amount of *simulation work* as it would running alone under the
+serial backend's ``SIGALRM``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
+
+from ..pipeline.processor import _MAX_CPI, ClusteredProcessor
+from ..stats import SimStats
+from .core import FusedCore
+
+__all__ = ["BatchEngine", "BatchJob", "BatchOutcome", "BatchResult"]
+
+
+@dataclass
+class BatchJob:
+    """Everything one member needs — ``run_trace``'s argument list."""
+
+    trace: object
+    config: object
+    controller: Optional[object] = None
+    #: called with the processor's cluster list; returns a steering override
+    steering: Optional[Callable[[object], object]] = None
+    warmup: int = 0
+    label: str = ""
+    max_instructions: Optional[int] = None
+    fault_schedule: Optional[object] = None
+    tracer: Optional[object] = None
+
+
+@dataclass
+class BatchResult:
+    """Steady-state metrics of one member, field-for-field the numbers
+    :class:`~repro.experiments.runner.RunResult` carries (defined here so
+    ``repro.batch`` stays below the experiments layer)."""
+
+    name: str
+    label: str
+    ipc: float
+    committed: int
+    cycles: int
+    mispredict_interval: float
+    avg_active_clusters: float
+    reconfigurations: int
+    stats: SimStats
+
+
+@dataclass
+class BatchOutcome:
+    """One retired member: a result, an error, or a timeout."""
+
+    key: object
+    result: Optional[BatchResult] = None
+    error: Optional[BaseException] = None
+    timed_out: bool = False
+    #: engine wall-clock seconds billed to this member's own rounds
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+_WARMUP = 0
+_MEASURE = 1
+
+
+class BatchEngine:
+    """Advance up to ``batch_size`` independent simulations in lockstep.
+
+    ``quantum`` is the executed-cycle budget each member receives per
+    round: large enough to amortize the round-robin framing, small enough
+    that retirement/back-fill keeps the batch full near the end of the
+    queue.  Results are invariant to both knobs (see the module
+    docstring); only wall-clock behaviour changes.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        *,
+        quantum: int = 2048,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.batch_size = batch_size
+        self.quantum = quantum
+        self.timeout = timeout
+        self._pending: Deque[Tuple[object, BatchJob]] = deque()
+        self._active: List[_LiveMember] = []
+        self._retired = 0
+
+    # -- queueing ------------------------------------------------------
+
+    def submit(self, key: object, job: BatchJob) -> None:
+        self._pending.append((key, job))
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending) + len(self._active)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def retired_count(self) -> int:
+        return self._retired
+
+    def cancel_pending(self) -> List[Tuple[object, BatchJob]]:
+        """Drop queued jobs (live members keep running to retirement)."""
+        dropped = list(self._pending)
+        self._pending.clear()
+        return dropped
+
+    # -- execution -----------------------------------------------------
+
+    def _refill(self, outcomes: List[BatchOutcome]) -> None:
+        while self._pending and len(self._active) < self.batch_size:
+            key, job = self._pending.popleft()
+            t0 = time.perf_counter()
+            try:
+                member = _LiveMember(key, job)
+            except Exception as exc:
+                outcomes.append(
+                    BatchOutcome(
+                        key, error=exc, elapsed=time.perf_counter() - t0
+                    )
+                )
+                continue
+            member.elapsed = time.perf_counter() - t0
+            self._active.append(member)
+
+    def step_round(self) -> List[BatchOutcome]:
+        """Back-fill, give every live member one quantum, collect retirees."""
+        outcomes: List[BatchOutcome] = []
+        self._refill(outcomes)
+        retired: List[_LiveMember] = []
+        for member in self._active:
+            t0 = time.perf_counter()
+            outcome: Optional[BatchOutcome] = None
+            try:
+                result = member.advance_round(self.quantum)
+            except Exception as exc:
+                outcome = BatchOutcome(member.key, error=exc)
+            else:
+                if result is not None:
+                    outcome = BatchOutcome(member.key, result=result)
+            member.elapsed += time.perf_counter() - t0
+            if (
+                outcome is None
+                and self.timeout is not None
+                and member.elapsed > self.timeout
+            ):
+                outcome = BatchOutcome(member.key, timed_out=True)
+            if outcome is not None:
+                outcome.elapsed = member.elapsed
+                retired.append(member)
+                outcomes.append(outcome)
+        if retired:
+            self._retired += len(retired)
+            self._active = [m for m in self._active if m not in retired]
+            self._refill(outcomes)
+        return outcomes
+
+    def run(self) -> Iterator[BatchOutcome]:
+        """Drive rounds until the queue and the batch are both empty."""
+        while self.outstanding:
+            for outcome in self.step_round():
+                yield outcome
+
+
+class _LiveMember:
+    """One live simulation: WARMUP → MEASURE → retired."""
+
+    __slots__ = (
+        "key", "job", "processor", "core", "phase", "warmup_target",
+        "cycles0", "committed0", "mispredicts0", "cluster_cycles0",
+        "elapsed",
+    )
+
+    def __init__(self, key: object, job: BatchJob) -> None:
+        self.key = key
+        self.job = job
+        self.elapsed = 0.0
+        processor = ClusteredProcessor(
+            job.trace,
+            job.config,
+            job.controller,
+            tracer=job.tracer,
+            fault_schedule=job.fault_schedule,
+        )
+        if job.steering is not None:
+            processor.steering = job.steering(processor.clusters)
+        self.processor = processor
+        self.core = FusedCore(processor)
+        # run_trace's warmup clamp: leave at least the last 1000
+        # instructions measurable, never warm past the commit bound
+        warmup = min(job.warmup, max(0, len(job.trace) - 1000))
+        if job.max_instructions is not None:
+            warmup = min(warmup, job.max_instructions)
+        self.warmup_target = warmup
+        self.phase = _WARMUP
+
+    def advance_round(self, quantum: int) -> Optional[BatchResult]:
+        """Spend one quantum; a :class:`BatchResult` means retirement."""
+        p = self.processor
+        if self.phase == _WARMUP:
+            # guardless, like run_trace's warmup loop
+            if not self.core.advance(self.warmup_target, quantum, None):
+                return None
+            stats = p.stats
+            self.cycles0 = p.cycle
+            self.committed0 = stats.committed
+            self.mispredicts0 = stats.mispredicts
+            self.cluster_cycles0 = stats.cluster_cycle_product
+            self.phase = _MEASURE
+            return None  # the measurement rounds start fresh
+        limit = self.job.max_instructions
+        bound = limit if limit is not None else len(p.trace)
+        bound = min(bound, len(p.trace))
+        max_cycles = max(10_000, bound * _MAX_CPI)  # run()'s wedge guard
+        if not self.core.advance(bound, quantum, max_cycles):
+            return None
+        # the commit target is met, so run()'s loop body never executes:
+        # this is exactly its finalization tail (fault finalize +
+        # invariant check), with no duplicated private state handling
+        stats = p.run(limit)
+        return self._result(stats)
+
+    def _result(self, stats: SimStats) -> BatchResult:
+        """run_trace's steady-state arithmetic, verbatim."""
+        cycles = max(1, stats.cycles - self.cycles0)
+        committed = stats.committed - self.committed0
+        mispredicts = stats.mispredicts - self.mispredicts0
+        return BatchResult(
+            name=self.processor.trace.name,
+            label=self.job.label,
+            ipc=committed / cycles,
+            committed=committed,
+            cycles=cycles,
+            mispredict_interval=(
+                (committed / mispredicts) if mispredicts else float("inf")
+            ),
+            avg_active_clusters=(
+                (stats.cluster_cycle_product - self.cluster_cycles0) / cycles
+            ),
+            reconfigurations=stats.reconfigurations,
+            stats=stats,
+        )

@@ -1,14 +1,16 @@
 """Pluggable execution backends for :class:`~repro.experiments.sweep.SweepRunner`.
 
-Three implementations of one protocol (:class:`~.base.ExecutionBackend`):
+Four implementations of one protocol (:class:`~.base.ExecutionBackend`):
 
 * :class:`~.serial.SerialBackend` — in-process, the determinism oracle;
 * :class:`~.pool.ProcessPoolBackend` — ``ProcessPoolExecutor`` fan-out
   with solo-probe crash attribution;
 * :class:`~.distributed.DistributedBackend` — asyncio coordinator
-  feeding TCP worker processes on this or other hosts.
+  feeding TCP worker processes on this or other hosts;
+* :class:`~.batch.BatchBackend` — lockstep batches of simulations per
+  process through the fused cycle loop of :mod:`repro.batch`.
 
-All three produce bit-identical results for the same specs; the
+All four produce bit-identical results for the same specs; the
 conformance suite (``tests/experiments/test_backends.py``) proves it.
 See ``docs/SWEEPS.md`` for the user-facing story.
 """
@@ -19,12 +21,13 @@ from typing import Optional
 
 from ...errors import BackendError
 from .base import BackendEventLog, Completion, ExecutionBackend
+from .batch import DEFAULT_BATCH_SIZE, BatchBackend
 from .distributed import DistributedBackend, WorkerLane, parse_lanes
 from .pool import ProcessPoolBackend
 from .serial import SerialBackend
 
 #: the spellings ``SweepConfig.backend`` accepts (besides ``"auto"``)
-BACKEND_KINDS = ("serial", "process-pool", "distributed")
+BACKEND_KINDS = ("serial", "process-pool", "distributed", "batch")
 
 
 def create_backend(
@@ -33,6 +36,7 @@ def create_backend(
     jobs: int = 1,
     timeout: Optional[float] = None,
     lanes=None,
+    batch_size: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build a backend by name (the ``SweepConfig.backend`` vocabulary)."""
     if kind == "serial":
@@ -41,6 +45,12 @@ def create_backend(
         return ProcessPoolBackend(jobs, timeout=timeout)
     if kind == "distributed":
         return DistributedBackend(lanes=lanes, jobs=jobs, timeout=timeout)
+    if kind == "batch":
+        return BatchBackend(
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            jobs=jobs,
+            timeout=timeout,
+        )
     raise BackendError(
         f"unknown execution backend {kind!r}; choose from "
         f"{('auto',) + BACKEND_KINDS}"
@@ -51,6 +61,7 @@ __all__ = [
     "BACKEND_KINDS",
     "BackendError",
     "BackendEventLog",
+    "BatchBackend",
     "Completion",
     "DistributedBackend",
     "ExecutionBackend",

@@ -1,0 +1,420 @@
+"""Lockstep batch backend — many simulations per process.
+
+:class:`BatchBackend` wraps :class:`repro.batch.BatchEngine`: instead of
+one simulation per worker invocation, each process advances up to
+``batch_size`` independent specs through the fused cycle loop together,
+retiring finished members and back-filling from the queue.  Per-step
+interpreter overhead is amortized across the batch, which is where the
+speedup over :class:`~.serial.SerialBackend` comes from (the simulated
+numbers are bit-identical — the conformance suite proves it).
+
+Two composition modes:
+
+* ``jobs <= 1`` — one in-process engine, the batch analogue of
+  :class:`~.serial.SerialBackend` (and like it, a hard worker crash is a
+  sweep crash);
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` whose tasks each run a *full
+  batch* through the in-process path, with :class:`~.pool.ProcessPoolBackend`'s
+  crash-attribution story lifted to chunk granularity: when the pool
+  breaks, every spec of every in-flight chunk becomes a suspect and
+  re-flies in a single-spec chunk; only a spec that breaks the pool
+  flying alone is reported ``crashed=True``.
+
+Specs the fused core cannot represent (multiprogrammed runs,
+``record_granularity`` interval recording) silently fall back to
+:func:`~repro.experiments.sweep.execute_spec`, so any spec mix is
+accepted.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ... import faults
+from ...batch import BatchEngine, BatchJob, BatchOutcome
+from ..runner import RunResult
+from ..sweep import (
+    RunRecord,
+    RunSpec,
+    _build_steering,
+    _trace_for,
+    _validate_record,
+    execute_spec,
+)
+from ..timeline import TimelineRecorder
+from .base import BackendEventLog, Completion, ExecutionBackend
+
+#: (index, spec, enqueued-at) triples, as in the other backends
+_Item = Tuple[int, object, float]
+
+DEFAULT_BATCH_SIZE = 8
+
+
+def _batchable(spec: object) -> bool:
+    """Whether the fused core can run this spec (see module docstring)."""
+    return (
+        isinstance(spec, RunSpec)
+        and spec.multiprog is None
+        and spec.record_granularity is None
+    )
+
+
+def _failed_record(spec: object, exc: BaseException, duration: float) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        status="failed",
+        error=f"{type(exc).__name__}: {exc}",
+        duration=duration,
+    )
+
+
+class BatchBackend(ExecutionBackend):
+    kind = "batch"
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        quantum: int = 2048,
+    ) -> None:
+        self.batch_size = max(1, int(batch_size))
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.quantum = quantum
+        self._executed = 0
+        self._log = BackendEventLog(clock0=time.perf_counter())
+        # in-process mode
+        self._engine = BatchEngine(
+            self.batch_size, quantum=quantum, timeout=timeout
+        )
+        self._inline: Deque[_Item] = deque()  # batchable, not yet materialized
+        self._fallback: Deque[_Item] = deque()  # execute_spec specs
+        self._meta: Dict[int, Tuple[int, object, Optional[TimelineRecorder], float]] = {}
+        self._next_key = 0
+        # pool-of-batches mode
+        self._queue: Deque[_Item] = deque()
+        self._probe: Deque[_Item] = deque()
+        self._futures: Dict[object, List[_Item]] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._cancelled = False
+        self._respawns = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._log.emit(
+            "backend_start",
+            time.perf_counter(),
+            jobs=self.jobs,
+            batch_size=self.batch_size,
+        )
+
+    def submit(self, index: int, spec: object, solo: bool = False) -> None:
+        item = (index, spec, time.perf_counter())
+        if self.jobs > 1:
+            (self._probe if solo else self._queue).append(item)
+        elif _batchable(spec):
+            self._inline.append(item)  # solo is meaningless in-process
+        else:
+            self._fallback.append(item)
+
+    def cancel(self) -> List[Tuple[int, object]]:
+        self._cancelled = True
+        dropped = [(i, s) for i, s, _ in self._inline]
+        dropped += [(i, s) for i, s, _ in self._fallback]
+        dropped += [(i, s) for i, s, _ in self._queue]
+        dropped += [(i, s) for i, s, _ in self._probe]
+        self._inline.clear()
+        self._fallback.clear()
+        self._queue.clear()
+        self._probe.clear()
+        # materialized-but-not-started engine jobs are dropped too; live
+        # members keep running to retirement, like in-flight pool work
+        for key, _job in self._engine.cancel_pending():
+            index, spec, _recorder, _t0 = self._meta.pop(key)
+            dropped.append((index, spec))
+        return dropped
+
+    def drain(self) -> List[Completion]:
+        if self.jobs > 1:
+            return self._drain_pool()
+        return self._drain_inline()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=not self._broken, cancel_futures=True)
+            self._pool = None
+        self._log.emit("backend_close", time.perf_counter())
+
+    def stats(self):
+        return {
+            "kind": self.kind,
+            "workers": self.jobs,
+            "batch_size": self.batch_size,
+            "executed": self._executed,
+            "respawns": self._respawns,
+            "events": list(self._log.events),
+        }
+
+    # ------------------------------------------------------------------
+    # in-process engine mode
+
+    def _materialize(self, item: _Item, completions: List[Completion]) -> None:
+        """Build one spec's :class:`BatchJob` and feed it to the engine.
+
+        Mirrors the front half of ``execute_spec``/``_run_spec``: chaos
+        injection first, then trace/controller/steering assembly; any
+        failure becomes a structured ``failed`` record immediately.
+        """
+        index, spec, t0 = item
+        start = time.perf_counter()
+        try:
+            faults.on_execute(spec)
+            trace = _trace_for(spec.profile, spec.trace_length, spec.seed)
+            controller = spec.controller.build()
+            recorder = (
+                TimelineRecorder(controller) if controller is not None else None
+            )
+            steering = _build_steering(spec.steering) if spec.steering else None
+            job = BatchJob(
+                trace=trace,
+                config=spec.config,
+                controller=recorder,
+                steering=steering,
+                warmup=spec.warmup,
+                label=spec.label,
+                max_instructions=spec.max_instructions,
+                fault_schedule=spec.faults,
+            )
+        except Exception as exc:
+            record = _failed_record(spec, exc, time.perf_counter() - start)
+            completions.append(
+                Completion(index, spec, record, worker="batch/0")
+            )
+            return
+        key = self._next_key
+        self._next_key += 1
+        self._meta[key] = (index, spec, recorder, t0)
+        self._engine.submit(key, job)
+
+    def _record(self, outcome: BatchOutcome, spec: object, recorder) -> RunRecord:
+        """The back half of ``execute_spec``: outcome → structured record."""
+        if outcome.timed_out:
+            return RunRecord(
+                spec=spec,
+                status="timeout",
+                error=f"run exceeded {self.timeout:g}s timeout",
+                duration=outcome.elapsed,
+            )
+        if outcome.error is not None:
+            return _failed_record(spec, outcome.error, outcome.elapsed)
+        b = outcome.result
+        record = RunRecord(
+            spec=spec,
+            status="ok",
+            result=RunResult(
+                name=b.name,
+                label=b.label,
+                ipc=b.ipc,
+                committed=b.committed,
+                cycles=b.cycles,
+                mispredict_interval=b.mispredict_interval,
+                avg_active_clusters=b.avg_active_clusters,
+                reconfigurations=b.reconfigurations,
+                stats=b.stats,
+            ),
+            events=tuple(recorder.events) if recorder is not None else (),
+            duration=outcome.elapsed,
+        )
+        try:
+            faults.poison_record(record)
+            _validate_record(record)
+        except Exception as exc:
+            return _failed_record(spec, exc, outcome.elapsed)
+        return record
+
+    def _drain_inline(self) -> List[Completion]:
+        completions: List[Completion] = []
+        while not completions:
+            # keep the engine fed; materialization stays lazy so a long
+            # queue does not pin every trace in memory at once
+            while self._inline and self._engine.outstanding < self.batch_size:
+                self._materialize(self._inline.popleft(), completions)
+            if self._engine.outstanding:
+                for outcome in self._engine.step_round():
+                    index, spec, recorder, t0 = self._meta.pop(outcome.key)
+                    record = self._record(outcome, spec, recorder)
+                    self._executed += 1
+                    completions.append(
+                        Completion(
+                            index,
+                            spec,
+                            record,
+                            queue_seconds=max(
+                                0.0,
+                                time.perf_counter() - t0 - record.duration,
+                            ),
+                            worker="batch/0",
+                        )
+                    )
+                continue
+            if completions:
+                break
+            if self._fallback:
+                index, spec, t0 = self._fallback.popleft()
+                record = execute_spec(spec, self.timeout)
+                self._executed += 1
+                completions.append(
+                    Completion(
+                        index,
+                        spec,
+                        record,
+                        queue_seconds=max(
+                            0.0, time.perf_counter() - t0 - record.duration
+                        ),
+                        worker="batch/0",
+                    )
+                )
+                continue
+            if not self._inline:
+                break  # nothing outstanding anywhere
+        return completions
+
+    # ------------------------------------------------------------------
+    # pool-of-batches mode (jobs > 1)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _respawn(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._broken = False
+        self._respawns += 1
+        self._log.emit("pool_respawn", time.perf_counter(), respawns=self._respawns)
+
+    def _top_up_pool(self) -> None:
+        """Keep ``jobs`` chunks in flight; probes fly alone and solo."""
+        while not self._broken and not self._cancelled:
+            if self._probe:
+                if self._futures:
+                    return  # wait for the sky to clear, like pool.py
+                chunk = [self._probe.popleft()]
+            elif self._queue and len(self._futures) < self.jobs:
+                chunk = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_size, len(self._queue)))
+                ]
+            else:
+                return
+            specs = [spec for _, spec, _ in chunk]
+            try:
+                future = self._ensure_pool().submit(
+                    _execute_batch,
+                    specs,
+                    self.batch_size,
+                    self.timeout,
+                    self.quantum,
+                )
+            except BrokenProcessPool:
+                self._broken = True
+                for item in reversed(chunk):
+                    self._queue.appendleft(item)
+                return
+            now = time.perf_counter()
+            self._futures[future] = [(i, s, now) for i, s, _ in chunk]
+
+    def _drain_pool(self) -> List[Completion]:
+        completions: List[Completion] = []
+        while not completions:
+            if not (self._queue or self._probe or self._futures):
+                return completions
+            self._top_up_pool()
+            if not self._futures:
+                if self._broken:
+                    self._respawn()
+                    continue
+                if self._cancelled:
+                    return completions
+                continue  # pragma: no cover - defensive; top-up always feeds
+            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = self._futures.pop(future)
+                try:
+                    records = future.result()
+                except BrokenProcessPool:
+                    self._broken = True
+                    if not self._futures and len(chunk) == 1:
+                        # a single-spec chunk crashed flying solo: guilty
+                        index, spec, _ = chunk[0]
+                        completions.append(
+                            Completion(index, spec, crashed=True, worker=self.kind)
+                        )
+                        continue
+                    self._probe.extend(chunk)
+                    continue
+                except Exception as exc:  # pool-level failure
+                    records = [
+                        _failed_record(spec, exc, 0.0) for _, spec, _ in chunk
+                    ]
+                now = time.perf_counter()
+                for (index, spec, t0), record in zip(chunk, records):
+                    self._executed += 1
+                    completions.append(
+                        Completion(
+                            index,
+                            spec,
+                            record,
+                            queue_seconds=max(0.0, now - t0 - record.duration),
+                            worker=self.kind,
+                        )
+                    )
+            if self._broken:
+                if self._cancelled:
+                    completions.extend(
+                        Completion(i, s, dropped=True)
+                        for chunk in self._futures.values()
+                        for i, s, _ in chunk
+                    )
+                else:
+                    for chunk in self._futures.values():
+                        self._probe.extend(chunk)
+                self._futures.clear()
+                self._respawn()
+        return completions
+
+
+def _execute_batch(
+    specs: List[object],
+    batch_size: int,
+    timeout: Optional[float],
+    quantum: int,
+) -> List[RunRecord]:
+    """Pool-worker task: run one chunk through the in-process path.
+
+    Reusing :class:`BatchBackend` in its ``jobs=1`` mode keeps the two
+    composition modes bit-identical by construction.
+    """
+    backend = BatchBackend(
+        batch_size=batch_size, jobs=1, timeout=timeout, quantum=quantum
+    )
+    backend.start()
+    for i, spec in enumerate(specs):
+        backend.submit(i, spec)
+    records: List[Optional[RunRecord]] = [None] * len(specs)
+    while True:
+        batch = backend.drain()
+        if not batch:
+            break
+        for completion in batch:
+            records[completion.index] = completion.record
+    backend.close()
+    return records  # type: ignore[return-value]

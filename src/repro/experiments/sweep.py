@@ -272,8 +272,8 @@ CACHE_KEY_EXEMPT: Dict[str, Tuple[str, ...]] = {
     # bit-identical records (the conformance suite proves it), so none of
     # the runner knobs may ever influence a cached result
     "SweepConfig": (
-        "backend", "jobs", "lanes", "cache_dir", "use_cache", "timeout",
-        "retries", "retry_backoff", "journal", "resume",
+        "backend", "jobs", "lanes", "batch_size", "cache_dir", "use_cache",
+        "timeout", "retries", "retry_backoff", "journal", "resume",
         "poison_threshold", "trace_dir",
     ),
 }
@@ -499,7 +499,10 @@ def execute_spec(spec: RunSpec, timeout: Optional[float] = None) -> RunRecord:
     previous = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+        # repeating interval: a raise that lands while a C-invoked frame
+        # (e.g. a gc callback) is on the stack is swallowed as
+        # "unraisable"; the next tick retries it
+        signal.setitimer(signal.ITIMER_REAL, timeout, min(timeout, 0.05))
     try:
         faults.on_execute(spec)
         record = _run_spec(spec)
@@ -507,6 +510,8 @@ def execute_spec(spec: RunSpec, timeout: Optional[float] = None) -> RunRecord:
         _validate_record(record)
         return record
     except _RunTimeout:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
         return RunRecord(
             spec=spec,
             status="timeout",
@@ -730,10 +735,13 @@ class SweepConfig:
     ``backend`` selects the execution mechanism:
 
     * ``"auto"`` (default) — ``REPRO_SWEEP_BACKEND`` if set; else
-      ``"distributed"`` when ``lanes`` is given; else ``"serial"`` for
-      ``jobs <= 1`` and ``"process-pool"`` otherwise — exactly the old
-      behaviour.
-    * ``"serial"`` / ``"process-pool"`` / ``"distributed"`` — explicit.
+      ``"distributed"`` when ``lanes`` is given; else ``"batch"`` when
+      ``batch_size`` is given; else ``"serial"`` for ``jobs <= 1`` and
+      ``"process-pool"`` otherwise.
+    * ``"serial"`` / ``"process-pool"`` / ``"distributed"`` /
+      ``"batch"`` — explicit.  ``"batch"`` runs ``batch_size``
+      simulations per process in lockstep (``docs/BATCHING.md``) and
+      composes with ``jobs > 1`` as a pool whose tasks are full batches.
     * an :class:`~repro.experiments.backends.ExecutionBackend` instance —
       escape hatch for tests and custom executors (single-use).
 
@@ -746,6 +754,7 @@ class SweepConfig:
     backend: Union[str, object] = "auto"
     jobs: Optional[int] = None
     lanes: Optional[str] = None
+    batch_size: Optional[int] = None
     cache_dir: Optional[os.PathLike] = None
     use_cache: bool = True
     timeout: Optional[float] = None
@@ -776,6 +785,10 @@ class SweepConfig:
             )
         if self.jobs is not None and int(self.jobs) < 0:
             raise ConfigError(f"jobs must be >= 0, got {self.jobs!r}")
+        if self.batch_size is not None and int(self.batch_size) < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size!r}"
+            )
         if self.timeout is not None and not float(self.timeout) > 0:
             raise ConfigError(f"timeout must be positive, got {self.timeout!r}")
         if int(self.retries) < 0:
@@ -807,6 +820,8 @@ class SweepConfig:
             return env
         if self.resolved_lanes() is not None:
             return "distributed"
+        if self.batch_size is not None:
+            return "batch"
         return "serial" if self.resolved_jobs() <= 1 else "process-pool"
 
 
@@ -921,6 +936,7 @@ class SweepRunner:
             jobs=self.jobs,
             timeout=self.timeout,
             lanes=self.config.resolved_lanes(),
+            batch_size=self.config.batch_size,
         )
         # align backend lifecycle timestamps with the sweep's span clock
         log = getattr(backend, "_log", None)

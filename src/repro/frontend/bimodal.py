@@ -32,3 +32,15 @@ class BimodalPredictor:
         else:
             if c > 0:
                 self._counters[i] = c - 1
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """``predict`` then ``update`` with a single table lookup; returns
+        the pre-update prediction."""
+        i = (pc >> 2) & (self.size - 1)
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+        elif c > 0:
+            self._counters[i] = c - 1
+        return c >= 2

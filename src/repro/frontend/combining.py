@@ -66,3 +66,23 @@ class CombiningPredictor:
                     self._chooser[i] = c - 1
         self.bimodal.update(pc, taken)
         self.twolevel.update(pc, taken)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """``predict`` then ``update`` in one pass over the tables.
+
+        Both components are consulted exactly once (plain ``update`` has to
+        re-run both predictions to train the chooser), which matters because
+        this sits on the per-branch fetch path.  Returns the pre-update
+        prediction.
+        """
+        p_bim = self.bimodal.predict_update(pc, taken)
+        p_two = self.twolevel.predict_update(pc, taken)
+        i = (pc >> 2) & (self.chooser_size - 1)
+        c = self._chooser[i]
+        if p_bim != p_two:
+            if p_two == taken:
+                if c < 3:
+                    self._chooser[i] = c + 1
+            elif c > 0:
+                self._chooser[i] = c - 1
+        return p_two if c >= 2 else p_bim

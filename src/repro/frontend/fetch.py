@@ -81,14 +81,13 @@ class FetchUnit:
                 mispredicted = True
             self.btb.update(instr.pc, instr.target)
         else:
-            predicted_taken = self.predictor.predict(instr.pc)
+            predicted_taken = self.predictor.predict_update(instr.pc, instr.taken)
             if predicted_taken != instr.taken:
                 mispredicted = True
             elif instr.taken and self.btb.lookup(instr.pc) != instr.target:
                 # right direction, unknown/stale target: a misfetch that
                 # costs the same redirect as a misprediction
                 mispredicted = True
-            self.predictor.update(instr.pc, instr.taken)
             if instr.taken:
                 # the BTB caches taken targets only; not-taken executions
                 # must not overwrite them with the fall-through
@@ -134,16 +133,14 @@ class FetchUnit:
         instructions = self._instructions
         trace_len = self._trace_len
         queue_cap = cfg.fetch_queue_size
+        fetch_width = cfg.fetch_width
+        max_blocks = cfg.max_basic_blocks_per_fetch
         ready_at = cycle + cfg.pipeline_depth
-        while (
-            fetched < cfg.fetch_width
-            and self._pos < trace_len
-            and len(queue) < queue_cap
-        ):
-            instr = instructions[self._pos]
-            self._pos += 1
+        pos = self._pos
+        while fetched < fetch_width and pos < trace_len and len(queue) < queue_cap:
+            instr = instructions[pos]
+            pos += 1
             fetched += 1
-            self.stats.fetched += 1
             queue.append((instr, ready_at))
             if instr.is_branch:
                 branches += 1
@@ -151,8 +148,10 @@ class FetchUnit:
                     self.stats.mispredicts += 1
                     self.pending_mispredict = instr.index
                     break
-                if branches >= cfg.max_basic_blocks_per_fetch:
+                if branches >= max_blocks:
                     break
+        self._pos = pos
+        self.stats.fetched += fetched
 
     def branch_resolved(self, branch_index: int, resume_cycle: int) -> None:
         """The mispredicted branch ``branch_index`` resolved; fetch may

@@ -52,3 +52,21 @@ class TwoLevelPredictor:
                 self._pht[i2] = c - 1
         mask = (1 << self.history_bits) - 1
         self._history[i1] = ((history << 1) | int(taken)) & mask
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """``predict`` then ``update`` with the index math done once;
+        returns the pre-update prediction."""
+        pc2 = pc >> 2
+        i1 = pc2 & (self.l1_size - 1)
+        history = self._history[i1]
+        i2 = (history ^ pc2) & (self.l2_size - 1)
+        c = self._pht[i2]
+        if taken:
+            if c < 3:
+                self._pht[i2] = c + 1
+            self._history[i1] = ((history << 1) | 1) & ((1 << self.history_bits) - 1)
+        else:
+            if c > 0:
+                self._pht[i2] = c - 1
+            self._history[i1] = (history << 1) & ((1 << self.history_bits) - 1)
+        return c >= 2

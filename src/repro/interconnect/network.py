@@ -64,6 +64,12 @@ class Network:
         #: counters so the invariant checker can verify conservation (every
         #: scheduled message accounted exactly once in the statistics)
         self.messages_sent = 0
+        # idealization/contention switches, hoisted off the transfer hot
+        # path (config is fixed for the life of the network)
+        self._free_memory = config.free_memory_communication
+        self._free_register = config.free_register_communication
+        self._contended = config.model_contention
+        self._hop_latency = config.hop_latency
         #: link-fault state (see :mod:`repro.resilience`): the healthy
         #: topology is kept; ``topology`` swaps to a rerouted
         #: :class:`DegradedTopology` view only while severs exist
@@ -169,7 +175,7 @@ class Network:
     def uncontended_latency(self, src: int, dst: int) -> int:
         table = self._link_latency
         if table is None:
-            return self.topology.hops(src, dst) * self.config.hop_latency
+            return self.topology.hops(src, dst) * self._hop_latency
         return sum(table[link] for link in self.topology.route(src, dst))
 
     def transfer(
@@ -182,20 +188,19 @@ class Network:
         """
         if src == dst:
             return start_cycle
-        cfg = self.config
         memory_kind = kind == "memory"
         if memory_kind:
-            if cfg.free_memory_communication:
+            if self._free_memory:
                 return start_cycle
-        elif cfg.free_register_communication:
+        elif self._free_register:
             return start_cycle
 
-        if cfg.model_contention:
+        if self._contended:
             ready = start_cycle
             reserve = self._links.reserve
             table = self._link_latency
             if table is None:
-                hop_latency = cfg.hop_latency
+                hop_latency = self._hop_latency
                 for link in self.topology.route(src, dst):
                     ready = reserve(link, ready) + hop_latency
             else:

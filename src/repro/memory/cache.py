@@ -23,6 +23,13 @@ class AccessResult:
         self.writeback = writeback
 
 
+#: preallocated access outcomes — ``access`` sits on the per-load hot path
+#: and the three possible results are immutable to every caller
+_HIT = AccessResult(hit=True, writeback=False)
+_MISS = AccessResult(hit=False, writeback=False)
+_MISS_WB = AccessResult(hit=False, writeback=True)
+
+
 class SetAssocCache:
     """LRU set-associative cache with write-back, write-allocate policy."""
 
@@ -32,30 +39,32 @@ class SetAssocCache:
         self.num_sets = config.num_sets
         if self.num_sets < 1:
             raise ValueError(f"{name}: config yields zero sets")
+        self._line_size = config.line_size
+        self._assoc = config.assoc
         # each set: list of [tag, dirty], most-recently-used last
         self._sets: List[List[List[int]]] = [[] for _ in range(self.num_sets)]
 
     def _locate(self, addr: int) -> Tuple[int, int]:
-        line = addr // self.config.line_size
+        line = addr // self._line_size
         return line % self.num_sets, line
 
     def access(self, addr: int, is_write: bool) -> AccessResult:
         """Probe and update the cache; allocate on miss."""
-        set_idx, tag = self._locate(addr)
-        cache_set = self._sets[set_idx]
+        tag = addr // self._line_size
+        cache_set = self._sets[tag % self.num_sets]
         for i, entry in enumerate(cache_set):
             if entry[0] == tag:
                 cache_set.append(cache_set.pop(i))
                 if is_write:
                     cache_set[-1][1] = 1
-                return AccessResult(hit=True, writeback=False)
+                return _HIT
         # miss: allocate, possibly evicting a dirty line
         writeback = False
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._assoc:
             victim = cache_set.pop(0)
             writeback = bool(victim[1])
         cache_set.append([tag, 1 if is_write else 0])
-        return AccessResult(hit=False, writeback=writeback)
+        return _MISS_WB if writeback else _MISS
 
     def probe(self, addr: int) -> bool:
         """Non-destructive hit check (no LRU update, no allocation)."""

@@ -106,12 +106,18 @@ class CentralizedLSQ:
 
     def schedulable_loads(self) -> List[MemAccess]:
         """Pop and return loads no longer blocked by unresolved stores."""
-        if not self._pending_loads:
+        pending = self._pending_loads
+        if not pending:
             return []
-        ready: List[MemAccess] = []
-        for index in sorted(self._pending_loads):
-            if not self._blocked(self._pending_loads[index]):
-                ready.append(self._pending_loads.pop(index))
+        if not self._unresolved_stores:
+            # no store can block anything: every pending load drains
+            ready = [pending[index] for index in sorted(pending)]
+            pending.clear()
+            return ready
+        ready = []
+        for index in sorted(pending):
+            if not self._blocked(pending[index]):
+                ready.append(pending.pop(index))
         return ready
 
     def probe_constraints(self, load: MemAccess) -> Tuple[int, bool]:

@@ -1,0 +1,255 @@
+"""BatchEngine lockstep semantics: bit-identity, retirement, refill.
+
+The engine's one promise is that lockstep interleaving is invisible:
+every member retires with exactly the result :func:`run_trace` produces
+for the same job, whatever the batch size, quantum, or submission order.
+The property test drives that promise through randomized compositions;
+the rest of the file pins the lifecycle edges (mid-batch retirement and
+back-fill, construction failures, cooperative timeouts, cancellation).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import BatchEngine, BatchJob
+from repro.config import (
+    decentralized_config,
+    default_config,
+    grid_config,
+    torus_config,
+)
+from repro.errors import SimulationError
+from repro.experiments.runner import run_trace
+from repro.experiments.sweep import ControllerSpec
+from repro.workloads import generate_trace, get_profile
+
+LEN = 1_200
+WARMUP = 300
+
+_CONFIGS = {
+    "ring": default_config,
+    "grid": grid_config,
+    "torus": torus_config,
+    "decentralized": decentralized_config,
+}
+
+#: the job mix every composition test draws from: all four topologies,
+#: static/dynamic controllers, two benchmarks, one short-trace member
+CASES = (
+    ("vpr-ring-static2", "vpr", "ring", ControllerSpec.static(2), LEN),
+    ("gzip-grid-static4", "gzip", "grid", ControllerSpec.static(4), LEN),
+    ("swim-torus-explore", "swim", "torus", ControllerSpec.explore(), LEN),
+    ("parser-dec-none", "parser", "decentralized", ControllerSpec.none(), LEN),
+    ("crafty-ring-fine", "crafty", "ring", ControllerSpec.finegrain(), LEN),
+    ("gzip-ring-short", "gzip", "ring", ControllerSpec.static(4), 600),
+)
+
+
+def _trace(profile, length, seed=7):
+    return generate_trace(get_profile(profile), length, seed)
+
+
+def _job(case):
+    _, profile, topology, controller, length = case
+    return BatchJob(
+        trace=_trace(profile, length),
+        config=_CONFIGS[topology](16),
+        controller=controller.build(),
+        warmup=WARMUP,
+        label=case[0],
+    )
+
+
+def _serial(case):
+    _, profile, topology, controller, length = case
+    return run_trace(
+        _trace(profile, length),
+        _CONFIGS[topology](16),
+        controller.build(),
+        warmup=WARMUP,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """run_trace's answer for every case, keyed by case name."""
+    return {case[0]: _serial(case) for case in CASES}
+
+
+def _stats_dict(result):
+    return dataclasses.asdict(result.stats)
+
+
+def _assert_matches(outcome, reference):
+    assert outcome.ok, (outcome.key, outcome.error)
+    expected = reference[outcome.key]
+    got = outcome.result
+    assert _stats_dict(got) == _stats_dict(expected)
+    assert got.ipc == expected.ipc
+    assert got.cycles == expected.cycles
+    assert got.committed == expected.committed
+    assert got.mispredict_interval == expected.mispredict_interval
+    assert got.avg_active_clusters == expected.avg_active_clusters
+    assert got.reconfigurations == expected.reconfigurations
+
+
+class TestBitIdentity:
+    def test_full_mix_one_batch(self, reference):
+        engine = BatchEngine(batch_size=len(CASES))
+        for case in CASES:
+            engine.submit(case[0], _job(case))
+        outcomes = list(engine.run())
+        assert len(outcomes) == len(CASES)
+        for outcome in outcomes:
+            _assert_matches(outcome, reference)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        batch_size=st.integers(min_value=1, max_value=len(CASES)),
+        quantum=st.sampled_from([64, 500, 2048, 1 << 16]),
+        order=st.permutations(range(len(CASES))),
+    )
+    def test_composition_never_changes_results(
+        self, reference, batch_size, quantum, order
+    ):
+        """The promise: results are invariant to batch size, quantum,
+        and submission order."""
+        engine = BatchEngine(batch_size=batch_size, quantum=quantum)
+        for i in order:
+            engine.submit(CASES[i][0], _job(CASES[i]))
+        outcomes = {o.key: o for o in engine.run()}
+        assert set(outcomes) == {case[0] for case in CASES}
+        for outcome in outcomes.values():
+            _assert_matches(outcome, reference)
+
+    def test_max_instructions_honoured(self):
+        case = CASES[1]
+        job = _job(case)
+        job.max_instructions = 800
+        engine = BatchEngine(batch_size=2)
+        engine.submit("bounded", job)
+        [outcome] = list(engine.run())
+        expected = run_trace(
+            _trace(case[1], case[4]),
+            _CONFIGS[case[2]](16),
+            case[3].build(),
+            warmup=WARMUP,
+            max_instructions=800,
+        )
+        assert outcome.ok
+        assert _stats_dict(outcome.result) == _stats_dict(expected)
+
+
+class TestRetirementAndRefill:
+    def test_batch_stays_full_until_queue_drains(self, reference):
+        """A slot freed by retirement is back-filled the same round."""
+        engine = BatchEngine(batch_size=2, quantum=256)
+        for case in CASES:
+            engine.submit(case[0], _job(case))
+        outcomes = []
+        while engine.outstanding:
+            before = engine.active_count
+            round_outcomes = engine.step_round()
+            outcomes.extend(round_outcomes)
+            assert before <= 2
+            # full while work remains: pending jobs must top the batch up
+            if engine.outstanding:
+                assert engine.active_count == min(2, engine.outstanding)
+        assert engine.active_count == 0
+        assert engine.retired_count == len(CASES)
+        assert len(outcomes) == len(CASES)
+        for outcome in outcomes:
+            _assert_matches(outcome, reference)
+
+    def test_short_member_retires_first(self):
+        """A 600-instruction member must not wait for a 1200-one."""
+        engine = BatchEngine(batch_size=2, quantum=256)
+        engine.submit("long", _job(CASES[0]))
+        engine.submit("short", _job(CASES[5]))
+        order = [outcome.key for outcome in engine.run()]
+        assert order.index("short") < order.index("long")
+
+    def test_warmup_clamp_on_tiny_trace(self):
+        """warmup > len(trace) - 1000 is clamped exactly like run_trace."""
+        trace = _trace("gzip", 500)
+        config = default_config(16)
+        job = BatchJob(trace=trace, config=config,
+                       controller=ControllerSpec.static(4).build(),
+                       warmup=6_000)
+        engine = BatchEngine(batch_size=1)
+        engine.submit("tiny", job)
+        [outcome] = list(engine.run())
+        expected = run_trace(trace, config,
+                             ControllerSpec.static(4).build(), warmup=6_000)
+        assert outcome.ok
+        assert _stats_dict(outcome.result) == _stats_dict(expected)
+
+
+class TestLifecycleEdges:
+    def test_construction_error_is_an_outcome(self, reference):
+        """A job that cannot build a processor retires as an error
+        outcome without disturbing its batchmates."""
+        engine = BatchEngine(batch_size=3)
+        engine.submit("good", _job(CASES[0]))
+        engine.submit("bad", BatchJob(trace=None, config=default_config(16)))
+        engine.submit("also-good", _job(CASES[1]))
+        outcomes = {o.key: o for o in engine.run()}
+        assert not outcomes["bad"].ok
+        assert isinstance(outcomes["bad"].error, Exception)
+        assert outcomes["good"].ok and outcomes["also-good"].ok
+        assert _stats_dict(outcomes["good"].result) == _stats_dict(
+            reference[CASES[0][0]]
+        )
+
+    def test_cooperative_timeout(self):
+        """timeout=0 bills every member out after its first round."""
+        engine = BatchEngine(batch_size=2, quantum=64, timeout=0.0)
+        engine.submit("a", _job(CASES[0]))
+        engine.submit("b", _job(CASES[1]))
+        outcomes = list(engine.run())
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.timed_out and not outcome.ok
+            assert outcome.elapsed > 0.0
+
+    def test_timeout_spares_fast_members(self, reference):
+        """A generous timeout retires real results, not timeouts."""
+        engine = BatchEngine(batch_size=2, timeout=120.0)
+        engine.submit(CASES[0][0], _job(CASES[0]))
+        [outcome] = list(engine.run())
+        assert outcome.ok and not outcome.timed_out
+        _assert_matches(outcome, reference)
+
+    def test_cancel_pending_keeps_live_members(self):
+        engine = BatchEngine(batch_size=1, quantum=64)
+        for case in CASES[:3]:
+            engine.submit(case[0], _job(case))
+        engine.step_round()  # admits exactly one live member
+        dropped = engine.cancel_pending()
+        assert [key for key, _ in dropped] == [CASES[1][0], CASES[2][0]]
+        outcomes = list(engine.run())
+        assert [o.key for o in outcomes] == [CASES[0][0]]
+        assert outcomes[0].ok
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchEngine(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchEngine(quantum=0)
+
+
+class TestFusedCoreGuards:
+    def test_naive_issue_rejected(self):
+        """The fused loop transcribes the event-driven issue stage only;
+        the naive oracle must be refused, not silently mis-run."""
+        from repro.batch import FusedCore
+        from repro.pipeline.processor import ClusteredProcessor
+
+        processor = ClusteredProcessor(
+            _trace("gzip", 600), default_config(16), None, naive_issue=True
+        )
+        with pytest.raises(SimulationError, match="naive_issue"):
+            FusedCore(processor)

@@ -1,6 +1,6 @@
 """Backend conformance suite.
 
-One spec matrix, three execution backends, bit-identical records — the
+One spec matrix, four execution backends, bit-identical records — the
 contract that makes the backend a pure mechanism choice.  Plus the
 distributed-specific machinery: lane parsing, the wire protocol, worker
 death (retry and quarantine), and journal resume across backends.
@@ -97,6 +97,8 @@ def config_for(kind, **kw):
         kw.setdefault("lanes", "local,2")
     elif kind == "process-pool":
         kw.setdefault("jobs", 2)
+    elif kind == "batch":
+        kw.setdefault("batch_size", 4)
     return SweepConfig(backend=kind, use_cache=kw.pop("use_cache", False), **kw)
 
 
@@ -108,7 +110,7 @@ class TestConformance:
         """The serial oracle over the full 20-spec matrix."""
         return SweepRunner(config_for("serial")).run(matrix_specs())
 
-    @pytest.mark.parametrize("kind", ["process-pool", "distributed"])
+    @pytest.mark.parametrize("kind", ["process-pool", "distributed", "batch"])
     def test_matrix_bit_identical_to_serial(self, kind, reference):
         records = SweepRunner(config_for(kind)).run(matrix_specs())
         assert [r.status for r in records] == ["ok"] * len(records)
@@ -116,6 +118,16 @@ class TestConformance:
         assert [r.spec.label for r in records] == [
             r.spec.label for r in reference
         ]
+        assert [r.events for r in records] == [r.events for r in reference]
+
+    def test_pool_of_batches_bit_identical_to_serial(self, reference):
+        """--batch-size composed with --jobs: every worker process runs a
+        full lockstep batch; the bits still match the serial oracle."""
+        records = SweepRunner(
+            config_for("batch", jobs=2, batch_size=3)
+        ).run(matrix_specs())
+        assert [r.status for r in records] == ["ok"] * len(records)
+        assert snapshot(records) == snapshot(reference)
         assert [r.events for r in records] == [r.events for r in reference]
 
     @pytest.mark.parametrize("kind", BACKEND_KINDS)
@@ -164,6 +176,18 @@ class TestBackendSelection:
         config = SweepConfig()
         assert config.resolved_backend() == "distributed"
         assert config.resolved_lanes() == "local,3"
+
+    def test_batch_size_implies_batch_backend(self):
+        assert SweepConfig(batch_size=4).resolved_backend() == "batch"
+        # explicit lanes still win: distributed workers each run serially
+        assert (
+            SweepConfig(batch_size=4, lanes="local,2").resolved_backend()
+            == "distributed"
+        )
+
+    def test_batch_size_validated(self):
+        with pytest.raises(Exception):
+            SweepConfig(batch_size=0)
 
     def test_backend_instance_escape_hatch(self):
         backend = create_backend("serial")

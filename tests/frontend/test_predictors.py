@@ -99,3 +99,30 @@ class TestCombining:
             stream.append((0x100, rng.random() < 0.95))
             stream.append((0x200, (i % 4) != 3))
         assert _accuracy(CombiningPredictor(), stream) > 0.9
+
+
+class TestPredictUpdateFusion:
+    """``predict_update(pc, taken)`` is the fetch hot path's fused form;
+    it must return exactly what ``predict`` would have, and leave the
+    predictor in exactly the state ``update`` would have."""
+
+    @pytest.mark.parametrize(
+        "factory", [BimodalPredictor, TwoLevelPredictor, CombiningPredictor]
+    )
+    def test_equivalent_to_predict_then_update(self, factory):
+        fused, split = factory(), factory()
+        rng = random.Random(17)
+        stream = []
+        for i in range(3000):
+            pc = 0x400 + 4 * rng.randrange(64)
+            taken = rng.random() < (0.9 if pc % 8 else 0.2)
+            stream.append((pc, taken))
+            if i % 5 == 0:  # periodic pattern sites exercise the history
+                stream.append((0x40, (i % 3) != 0))
+        for pc, taken in stream:
+            expected = split.predict(pc)
+            split.update(pc, taken)
+            assert fused.predict_update(pc, taken) == expected
+        # state equivalence: both predictors answer identically afterwards
+        for pc in range(0x400, 0x500, 4):
+            assert fused.predict(pc) == split.predict(pc)

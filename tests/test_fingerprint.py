@@ -120,6 +120,48 @@ def test_faulted_run_is_bit_identical(topology, scenario):
     )
 
 
+def test_batched_runs_match_every_golden():
+    """All 55 fingerprint cases replayed through one lockstep
+    :class:`~repro.batch.BatchEngine` must reproduce the committed
+    digests bit-for-bit — the batch engine is a mechanism, never a
+    timing model."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("goldens are being regenerated from the serial paths")
+    from repro.api import SimSpec
+    from repro.batch import BatchEngine, BatchJob
+
+    cases = {}
+    for topology in TOPOLOGIES:
+        for policy in POLICIES:
+            cases[f"{topology}/{policy}"] = (topology, policy, None)
+        for scenario, (policy, schedule) in FAULT_SCENARIOS.items():
+            cases[f"{topology}/{policy}+{scenario}"] = (
+                topology, policy, schedule,
+            )
+    engine = BatchEngine(batch_size=7)
+    for key, (topology, policy, schedule) in cases.items():
+        spec = SimSpec(
+            workload=_TRACE, topology=topology, reconfig_policy=policy,
+            warmup=500, faults=schedule,
+        )
+        engine.submit(key, BatchJob(
+            trace=_TRACE,
+            config=spec.processor_config(),
+            controller=spec.controller_spec().build(),
+            warmup=500,
+            fault_schedule=schedule,
+        ))
+    expected = json.loads(GOLDEN.read_text())
+    seen = set()
+    for outcome in engine.run():
+        assert outcome.ok, (outcome.key, outcome.error)
+        assert fingerprint(outcome.result.stats) == expected[outcome.key], (
+            f"batched fingerprint diverged from golden for {outcome.key}"
+        )
+        seen.add(outcome.key)
+    assert seen == set(cases)
+
+
 def _check_golden(key, digest):
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         data = json.loads(GOLDEN.read_text()) if GOLDEN.exists() else {}
